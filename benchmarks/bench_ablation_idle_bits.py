@@ -1,0 +1,87 @@
+"""Ablations for the paper's scoping assumptions (Section 3).
+
+1. Idle bits restored: the paper compares useful bits only; this
+   ablation adds scan/TAM padding back and locates where (if anywhere)
+   the conclusion flips.
+2. Wrapper overhead: the g12710 failure regime (terminals rival scan).
+3. Granularity: the per-cone-wrapping thought experiment the paper
+   dismisses on overhead grounds.
+"""
+
+from repro.core import crossover_spread
+from repro.experiments.ablation import (
+    granularity_ablation,
+    idle_bit_ablation,
+    wrapper_overhead_ablation,
+)
+
+from conftest import run_once
+
+
+def test_bench_idle_bits(benchmark):
+    ablation = run_once(
+        benchmark, idle_bit_ablation, "d695", (1, 2, 4, 8, 16, 32)
+    )
+    print("\nAblation: idle bits restored (d695)")
+    print(ablation.render())
+
+    narrow = [r for r in ablation.reports if r.tam_width <= 8]
+    wide = [r for r in ablation.reports if r.tam_width >= 32]
+    # Useful-bits conclusion (the paper's metric) holds at every width.
+    assert all(r.useful_ratio < 1.0 for r in ablation.reports)
+    # Delivered-bits conclusion holds at practical widths...
+    assert all(r.delivered_ratio < 1.0 for r in narrow)
+    # ...and flips under lockstep shifting on very wide TAMs — the
+    # boundary of the paper's useful-bits abstraction.
+    assert all(r.delivered_ratio > 1.0 for r in wide)
+
+
+def test_bench_wrapper_overhead(benchmark):
+    points = run_once(benchmark, wrapper_overhead_ablation, (8, 32, 64, 128, 256, 512))
+    print("\nAblation: wrapper overhead (per-core terminals)")
+    penalties = []
+    for point in points:
+        summary = point.analysis.summary
+        penalties.append(summary.penalty_fraction)
+        print(f"  io={int(point.parameter):4d} "
+              f"penalty={100 * summary.penalty_fraction:5.1f}% "
+              f"change={100 * summary.modular_change_fraction:+6.1f}%")
+    assert penalties == sorted(penalties)
+
+
+def test_bench_granularity(benchmark):
+    points = run_once(benchmark, granularity_ablation, (1, 2, 4, 8, 16, 32, 64))
+    print("\nAblation: partitioning granularity (fixed total scan)")
+    for point in points:
+        summary = point.analysis.summary
+        print(f"  cores={int(point.parameter):3d} "
+              f"change={100 * summary.modular_change_fraction:+6.1f}% "
+              f"penalty={100 * summary.penalty_fraction:5.1f}%")
+    # Coarsest partitioning is the monolithic baseline; finer wins more.
+    first = points[0].analysis.summary.modular_change_fraction
+    mid = points[3].analysis.summary.modular_change_fraction
+    assert abs(first) < 0.02
+    assert mid < -0.3
+
+
+def test_bench_shared_isolation(benchmark):
+    """The paper's stated pessimism (dedicated cells on every terminal),
+    relaxed: functional-register isolation sharing."""
+    from repro.experiments.ablation import shared_isolation_ablation
+
+    result = run_once(benchmark, shared_isolation_ablation)
+    print("\nAblation: shared isolation (g12710)")
+    print(result.render())
+    print(f"  break-even sharing: {result.g12710_breakeven:.2f}")
+    # g12710 loses with dedicated cells, wins with free isolation...
+    assert result.g12710_points[0].modular_change_fraction > 0
+    assert result.g12710_points[-1].modular_change_fraction < 0
+    assert 0.5 < result.g12710_breakeven < 1.0
+    # ...and no other SOC ever needed the relaxation.
+    assert all(value is None for value in result.other_breakevens.values())
+
+
+def test_bench_crossover_spread(benchmark):
+    spread = run_once(benchmark, crossover_spread)
+    print(f"\nBreak-even pattern spread for the crossover family: {spread:.3f}")
+    assert 0.0 < spread < 3.0

@@ -1,0 +1,53 @@
+"""Substrate quality bench: the ATPG engine itself.
+
+Not a paper artifact — this tracks the ATPG stack's behaviour across
+circuit sizes, so regressions in coverage, compaction or speed show up
+where the table benches would only show mysterious pattern-count
+drifts.
+"""
+
+import pytest
+
+from repro.atpg import CompiledCircuit, collapse_faults, fault_coverage, generate_tests
+from repro.synth import GeneratorSpec, generate_circuit
+
+from conftest import run_once
+
+SIZES = [
+    ("small", 120, 12, 6, 10),
+    ("medium", 500, 24, 12, 48),
+    ("large", 1500, 32, 24, 160),
+]
+
+
+@pytest.mark.parametrize("label,gates,inputs,outputs,ffs", SIZES)
+def test_bench_atpg_scaling(benchmark, label, gates, inputs, outputs, ffs):
+    netlist = generate_circuit(
+        GeneratorSpec(name=f"scale_{label}", inputs=inputs, outputs=outputs,
+                      flip_flops=ffs, target_gates=gates, seed=19)
+    )
+    result = run_once(benchmark, generate_tests, netlist, 19)
+    print(f"\n{label}: {len(netlist.gates)} gates -> "
+          f"{result.pattern_count} patterns, "
+          f"{100 * result.fault_coverage:.2f}% coverage, "
+          f"{len(result.aborted)} aborted")
+    # Quality gates: full testable coverage, no aborts at this size.
+    assert result.testable_coverage == 1.0
+    assert not result.aborted
+    # Claimed coverage must match an independent re-simulation.
+    circuit = CompiledCircuit(netlist)
+    verified = fault_coverage(
+        circuit, result.test_set.as_trit_dicts(circuit), collapse_faults(circuit)
+    )
+    assert verified == pytest.approx(result.fault_coverage)
+
+
+def test_bench_monolithic_soc1_atpg(benchmark):
+    """The heaviest single ATPG call in the reproduction, timed alone."""
+    from repro.synth import elaborate, soc1_design
+
+    design = elaborate(soc1_design(), seed=3)
+    result = run_once(benchmark, generate_tests, design.monolithic, 3)
+    print(f"\nSOC1 monolithic: {result.pattern_count} patterns, "
+          f"{100 * result.fault_coverage:.2f}% coverage")
+    assert result.fault_coverage > 0.98

@@ -1,0 +1,85 @@
+"""Extension studies: BIST, compression, abort-on-fail.
+
+Not in the paper's evaluation; these exercise the optional/follow-on
+directions its introduction and related-work sections point at (on-chip
+source/sink, scheduling freedom) and quantify the care-bit connection
+between modular testing and stimulus compression.
+"""
+
+from repro.experiments.extensions import (
+    abort_on_fail_study,
+    at_speed_study,
+    bist_study,
+    compression_study,
+    test_point_study,
+)
+
+from conftest import run_once
+
+
+def test_bench_bist_external_data(benchmark):
+    comparison = run_once(benchmark, bist_study)
+    print(f"\nBIST: {comparison.bist.external_data_bits()} external bits vs "
+          f"ATE {comparison.ate_bits:,} "
+          f"({comparison.external_reduction_ratio:,.0f}x), coverage "
+          f"{100 * comparison.bist.fault_coverage:.1f}%")
+    # BIST's external data is orders of magnitude smaller...
+    assert comparison.external_reduction_ratio > 50
+    # ...but pseudo-random patterns give up some coverage vs ATPG.
+    assert 0.80 < comparison.bist.fault_coverage < 1.0
+
+
+def test_bench_compression_care_bits(benchmark):
+    partial, filled = run_once(benchmark, compression_study)
+    print(f"\nCompression: partial patterns {partial.run_length_ratio:.1f}x "
+          f"run-length vs filled {filled.run_length_ratio:.1f}x")
+    assert partial.flat_bits == filled.flat_bits
+    # X-rich (modular-style) stimulus compresses; filled stimulus does not.
+    assert partial.run_length_ratio > 1.5
+    assert filled.run_length_ratio < 1.0
+    assert partial.care_position < filled.care_position
+
+
+def test_bench_test_points(benchmark):
+    result = run_once(benchmark, test_point_study)
+    print(f"\nTest points: BIST coverage "
+          f"{100 * result.coverage_before:.1f}% -> "
+          f"{100 * result.coverage_after:.1f}% for {result.added_cells} "
+          f"extra scan cells")
+    assert result.coverage_after > result.coverage_before
+    assert result.added_cells > 0
+
+
+def test_bench_at_speed_multiplier(benchmark):
+    result = run_once(benchmark, at_speed_study)
+    print(f"\nAt-speed: {result.stuck_at_patterns} stuck-at patterns vs "
+          f"{result.transition_pairs} transition pairs "
+          f"({result.data_multiplier:.1f}x data, "
+          f"{100 * result.transition_coverage:.1f}% TDF coverage)")
+    assert result.transition_pairs > result.stuck_at_patterns
+    assert result.transition_coverage > 0.5
+
+
+def test_bench_abort_on_fail(benchmark):
+    result = run_once(benchmark, abort_on_fail_study)
+    print(f"\nAbort-on-fail (d695): pass {result.pass_time:,.0f}, naive "
+          f"{result.expected_naive:,.0f}, ordered "
+          f"{result.expected_optimized:,.0f} cycles "
+          f"({100 * result.improvement:.1f}% saved)")
+    assert result.expected_optimized <= result.expected_naive
+    assert result.expected_naive < result.pass_time
+
+
+def test_bench_fill_strategies(benchmark):
+    from repro.experiments.extensions import fill_study
+
+    report = run_once(benchmark, fill_study)
+    print("\nX-fill strategies (transitions / run-length ratio)")
+    for strategy, costs in report.items():
+        print(f"  {strategy:9s} {costs['transitions']:>8,.0f}  "
+              f"{costs['run_length_ratio']:.2f}x")
+    assert report["adjacent"]["transitions"] == min(
+        entry["transitions"] for entry in report.values()
+    )
+    assert report["random"]["run_length_ratio"] < 1.0
+    assert report["zero"]["run_length_ratio"] > report["random"]["run_length_ratio"]

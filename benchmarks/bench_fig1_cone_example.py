@@ -1,0 +1,40 @@
+"""Figures 1-2 / Section 3 worked example.
+
+Regenerates the paper's illustrative numbers (20,000 monolithic bits vs
+15,000 modular bits, a 25% reduction) and the two cone-compaction
+regimes on generated circuits.
+"""
+
+import pytest
+
+from repro.experiments.cone_example import compaction_demo, cone_example
+
+from conftest import run_once
+
+
+def test_bench_cone_example_arithmetic(benchmark):
+    result = run_once(benchmark, cone_example)
+    print("\nSection 3 worked example")
+    print(f"  monolithic: {result.monolithic_bits:,} bits (paper: 20,000)")
+    print(f"  modular:    {result.modular_bits:,} bits (paper: 15,000)")
+    print(f"  reduction:  {result.reduction_percent:.1f}% (paper: 25.0%)")
+    assert result.monolithic_bits == 20_000
+    assert result.modular_bits == 15_000
+    assert result.reduction_percent == pytest.approx(25.0)
+
+
+def test_bench_cone_compaction_regimes(benchmark):
+    def both_regimes():
+        return compaction_demo(0.0), compaction_demo(0.8)
+
+    disjoint, overlapping = run_once(benchmark, both_regimes)
+    print("\nFigure 1 regimes (per-cone ATPG + cross-cone compaction)")
+    for label, demo in (("disjoint", disjoint), ("overlapping", overlapping)):
+        print(
+            f"  {label:12s} overlap={demo.cone_overlap_fraction:.2f} "
+            f"per-cone={demo.per_cone_patterns} merged={demo.merged_pattern_count}"
+        )
+    assert disjoint.cone_overlap_fraction < overlapping.cone_overlap_fraction
+    # Figure 1(b): conflicts make the merged count exceed the cone max.
+    assert overlapping.merged_pattern_count > overlapping.max_cone_patterns
+    assert disjoint.conflict_excess <= overlapping.conflict_excess

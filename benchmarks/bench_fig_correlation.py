@@ -1,0 +1,36 @@
+"""Section 5.2's correlation observation, as a figure-style series.
+
+"The test data volume reduction of modular SOC testing is correlated to
+the normalized standard deviation of core pattern counts" — with
+g12710 and a586710 as the named extremal points.  Regenerated twice:
+on the ten benchmark SOCs and on a controlled synthetic family.
+"""
+
+from repro.experiments.correlation import benchmark_series, render, synthetic_series
+
+from conftest import run_once
+
+
+def test_bench_correlation_on_benchmarks(benchmark):
+    result = run_once(benchmark, benchmark_series)
+    print("\nReduction vs pattern-count variation (ITC'02 SOCs)")
+    print(render(result))
+    print(f"  Pearson: {result.pearson:+.3f}")
+
+    assert result.pearson > 0.5
+    low, high = result.extremes()
+    assert low == "g12710" and high == "a586710"
+
+
+def test_bench_correlation_synthetic_family(benchmark):
+    points = run_once(benchmark, synthetic_series)
+    print("\nSynthetic family (spread is the only knob)")
+    reductions = []
+    for point in points:
+        summary = point.analysis.summary
+        reduction = -100.0 * summary.modular_change_fraction
+        reductions.append(reduction)
+        print(f"  nsd={point.analysis.pattern_variation:5.2f} "
+              f"reduction={reduction:+6.1f}%")
+    # Monotone within the family: more variation, more reduction.
+    assert reductions == sorted(reductions)

@@ -1,0 +1,43 @@
+"""Table 4: TDV comparison over all ten ITC'02 benchmark SOCs.
+
+Acceptance: every column within the calibration tolerance of the
+published value (see DESIGN.md for the three rows where the paper is
+internally inconsistent and what we reproduce instead), the sign of
+every modular-change entry, and the two extremal SOCs.
+"""
+
+import pytest
+
+from repro.experiments.itc02_tables import render_table4, table4
+
+from conftest import run_once
+
+TOLERANCE = 5e-4
+
+
+def test_bench_table4(benchmark):
+    results = run_once(benchmark, table4)
+    print("\nTable 4 reproduction (measured vs published)")
+    print(render_table4(results))
+
+    for result in results:
+        row = result.published
+        tolerance = 2e-3 if row.soc == "p34392" else TOLERANCE
+        assert result.summary.tdv_monolithic == pytest.approx(
+            row.tdv_opt_mono, rel=tolerance
+        ), row.soc
+        assert result.summary.tdv_penalty == pytest.approx(
+            row.tdv_penalty, rel=tolerance
+        ), row.soc
+        assert result.summary.tdv_benefit == pytest.approx(
+            row.tdv_benefit, rel=tolerance
+        ), row.soc
+        assert (result.modular_percent > 0) == (row.modular_percent > 0), row.soc
+
+    by_name = {r.soc.name: r for r in results}
+    # g12710 is the only SOC where modular testing inflates TDV (+38.6%).
+    assert by_name["g12710"].modular_percent == pytest.approx(38.6, abs=0.5)
+    # a586710 shows the extreme reduction (-99.3%).
+    assert by_name["a586710"].modular_percent == pytest.approx(-99.3, abs=0.2)
+    # p22810's huge reduction (-97.7%).
+    assert by_name["p22810"].modular_percent == pytest.approx(-97.7, abs=0.2)

@@ -1,0 +1,52 @@
+"""Extension: the test-time vs test-data-volume trade-off.
+
+The paper measures data volume only; the wider wrapper/TAM literature
+optimizes time.  This bench charts both on d695: co-optimized test time
+falls with TAM width while delivered volume rises — the projection the
+paper's useful-bits analysis makes explicit.
+"""
+
+from repro.itc02 import load
+from repro.tam import (
+    cooptimize,
+    core_specs_from_soc,
+    pareto_widths,
+    time_volume_tradeoff,
+)
+
+from conftest import run_once
+
+
+def test_bench_time_volume_tradeoff(benchmark):
+    soc = load("d695")
+    specs = core_specs_from_soc(soc)
+    points = run_once(benchmark, time_volume_tradeoff, specs, [2, 4, 8, 16, 32])
+    print("\nd695 time-volume trade-off (co-optimized schedules)")
+    for width, makespan, delivered in points:
+        print(f"  width {width:2d}: makespan {makespan:>10,} cycles, "
+              f"delivered {delivered:>10,} bits")
+    times = [p[1] for p in points]
+    volumes = [p[2] for p in points]
+    assert times == sorted(times, reverse=True)
+    assert volumes == sorted(volumes)
+
+
+def test_bench_pareto_staircase(benchmark):
+    """Per-core Pareto widths: strictly improving staircases only."""
+    soc = load("d695")
+    specs = core_specs_from_soc(soc)
+
+    def all_fronts():
+        return {spec.name: pareto_widths(spec, 32) for spec in specs}
+
+    fronts = run_once(benchmark, all_fronts)
+    print("\nd695 per-core Pareto-optimal TAM widths")
+    for name, points in fronts.items():
+        widths = [p.width for p in points]
+        print(f"  {name:14s} useful widths: {widths}")
+        times = [p.test_time_cycles for p in points]
+        assert times == sorted(times, reverse=True)
+
+    result = cooptimize(specs, tam_width=16)
+    result.schedule.verify()
+    print(f"  co-optimized makespan at width 16: {result.makespan:,} cycles")

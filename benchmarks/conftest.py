@@ -1,0 +1,20 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+and asserts its acceptance criteria (shape, not absolute numbers, for
+the ATPG-backed experiments; tight tolerances for the analytic ones).
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Heavy ATPG experiments are benchmarked with a single round: the run
+*is* the experiment, and determinism makes repeat timing uninformative.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a deterministic experiment with one round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

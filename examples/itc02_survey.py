@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Survey the ITC'02 benchmark SOCs through the TDV model.
+
+Loads all ten shipped benchmark SOCs, reproduces the paper's Table 4
+columns, ranks the SOCs by reduction, and relates the outcome to the
+pattern-count variation statistic (the paper's Section 5.2 claim).
+
+Run:  python examples/itc02_survey.py
+"""
+
+from repro.core import (
+    comparison_table,
+    pattern_count_variation,
+    pearson_correlation,
+    rank_by_reduction,
+    summarize,
+)
+from repro.itc02 import load_all
+from repro.soc import wrapper_area_cells
+
+
+def main() -> None:
+    socs = load_all()
+    print(f"Loaded {len(socs)} ITC'02 benchmark SOCs\n")
+    print(comparison_table(list(socs.values())))
+
+    print("\nRanked by TDV reduction (most reduced first):")
+    for analysis in rank_by_reduction(list(socs.values())):
+        summary = analysis.summary
+        print(f"  {summary.soc_name:8s} "
+              f"{100 * summary.modular_change_fraction:+7.1f}%  "
+              f"(variation {analysis.pattern_variation:.2f}, "
+              f"{wrapper_area_cells(socs[summary.soc_name]):,} wrapper cells)")
+
+    variations = [pattern_count_variation(soc) for soc in socs.values()]
+    reductions = [
+        -summarize(soc).modular_change_fraction for soc in socs.values()
+    ]
+    print(f"\nPearson(variation, reduction) = "
+          f"{pearson_correlation(variations, reductions):+.3f}")
+
+    # Drill into the two extremes the paper names.
+    for name in ("g12710", "a586710"):
+        soc = socs[name]
+        summary = summarize(soc)
+        counts = [c.patterns for c in soc if c.name != soc.top_name]
+        print(f"\n{name}: pattern counts span {min(counts):,}..{max(counts):,} "
+              f"(variation {pattern_count_variation(soc):.2f})")
+        print(f"  penalty {summary.tdv_penalty:,} bits vs benefit "
+              f"{summary.tdv_benefit:,} bits -> "
+              f"{100 * summary.modular_change_fraction:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

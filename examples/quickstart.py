@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate the modular-vs-monolithic TDV trade-off.
+
+Builds a small SOC description by hand, computes every quantity of the
+paper's Section 4 (Equations 1-8), and prints the comparison — the
+five-minute tour of the library's core API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Core, Soc, decompose, summarize
+from repro.core import analyze, soc_table
+
+
+def main() -> None:
+    # An SOC is a list of cores: I/O terminals, scan cells, and the
+    # pattern count of each core's stand-alone test.  The top core
+    # carries the chip-level pins and embeds the others.
+    soc = Soc(
+        "demo",
+        [
+            Core("top", inputs=64, outputs=32, patterns=2,
+                 children=["cpu", "dsp", "usb", "mem_ctl"]),
+            Core("cpu", inputs=96, outputs=80, scan_cells=12_000, patterns=850),
+            Core("dsp", inputs=48, outputs=48, scan_cells=6_500, patterns=3_400),
+            Core("usb", inputs=30, outputs=26, scan_cells=900, patterns=240),
+            Core("mem_ctl", inputs=70, outputs=64, scan_cells=2_100, patterns=120),
+        ],
+        top="top",
+    )
+
+    print(f"SOC {soc.name!r}: {len(soc) - 1} cores, "
+          f"{soc.total_scan_cells:,} scan cells\n")
+    print(soc_table(soc))
+
+    # summarize() computes the full Section-4 picture; by default the
+    # monolithic pattern count is the Eq. 2 lower bound (optimistic).
+    summary = summarize(soc)
+    print(f"\nOptimistic monolithic TDV (Eq. 3): {summary.tdv_monolithic:,} bits")
+    print(f"Modular TDV (Eq. 4):               {summary.tdv_modular:,} bits")
+    print(f"Isolation penalty (Eq. 7):         {summary.tdv_penalty:,} bits "
+          f"({100 * summary.penalty_fraction:+.1f}%)")
+    print(f"Variation benefit (Eq. 8+residual): {summary.tdv_benefit:,} bits "
+          f"({100 * summary.benefit_fraction:.1f}%)")
+    print(f"Modular change:                    "
+          f"{100 * summary.modular_change_fraction:+.1f}% "
+          f"({summary.reduction_ratio:.2f}x reduction)")
+
+    # decompose() explains *where* the savings come from, per core.
+    decomposition = decompose(soc)
+    print("\nPer-core decomposition (penalty vs benefit, bits):")
+    for core in decomposition.per_core:
+        print(f"  {core.core_name:8s} penalty={core.penalty:>10,}  "
+              f"benefit={core.benefit:>12,}")
+
+    # The driver of the whole effect: pattern-count variation.
+    analysis = analyze(soc)
+    print(f"\nNormalized stdev of core pattern counts: "
+          f"{analysis.pattern_variation:.2f}")
+    print("(Table 4 of the paper: reduction grows with this statistic; "
+          "g12710 at 0.18 loses, a586710 at 1.95 saves 99.3%.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Explore the design space around the paper's conclusion.
+
+Three questions a test architect would ask after reading the paper,
+answered with the sweep and TAM substrates:
+
+1. How much pattern-count variation does my SOC need before modular
+   testing pays for its wrappers?  (crossover analysis)
+2. How fine should I partition?  (granularity sweep)
+3. Does the conclusion survive real scan-chain/TAM idle bits, which the
+   paper's analysis deliberately excludes?  (idle-bit ablation)
+
+Run:  python examples/soc_design_space.py
+"""
+
+from repro.core import (
+    crossover_spread,
+    sweep_core_count,
+    sweep_pattern_variation,
+)
+from repro.itc02 import load
+from repro.tam import compare_architectures, core_specs_from_soc, idle_bit_sweep
+
+
+def main() -> None:
+    print("1. Reduction vs pattern-count variation (synthetic family)")
+    for point in sweep_pattern_variation([0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0]):
+        summary = point.analysis.summary
+        print(f"   spread={point.parameter:4.2f} -> variation "
+              f"{point.analysis.pattern_variation:4.2f}, modular change "
+              f"{100 * summary.modular_change_fraction:+6.1f}%")
+    spread = crossover_spread()
+    print(f"   break-even spread for a wrapper-heavy family: {spread:.2f}")
+
+    print("\n2. Partitioning granularity (fixed total scan)")
+    for point in sweep_core_count([1, 2, 4, 8, 16, 32, 64]):
+        summary = point.analysis.summary
+        print(f"   {int(point.parameter):3d} cores -> change "
+              f"{100 * summary.modular_change_fraction:+6.1f}% "
+              f"(penalty share {100 * summary.penalty_fraction:.1f}%)")
+
+    print("\n3. Idle bits restored (d695, the paper's scoped-out dimension)")
+    soc = load("d695")
+    for report in idle_bit_sweep(soc, [1, 4, 16, 32]):
+        verdict = "modular wins" if report.delivered_ratio < 1 else "modular loses"
+        print(f"   TAM width {report.tam_width:2d}: useful ratio "
+              f"{report.useful_ratio:.2f}, delivered ratio "
+              f"{report.delivered_ratio:.2f}  ({verdict})")
+
+    print("\n   TAM architectures at width 16 (test-time view):")
+    specs = core_specs_from_soc(soc)
+    for result in compare_architectures(specs, tam_width=16):
+        print(f"   {result.architecture:13s} {result.test_time_cycles:>12,} cycles, "
+              f"idle fraction {100 * result.idle_fraction:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of Sinanoglu & Marinissen, DATE 2008.
+
+*Analysis of The Test Data Volume Reduction Benefit of Modular SOC
+Testing* quantifies how much test data volume (TDV) modular, wrapped,
+core-based SOC testing saves over monolithic testing of the flattened
+design.  This package implements the paper's TDV model (Equations 1-8)
+and every substrate its evaluation depends on:
+
+``repro.core``
+    The TDV formulas, the penalty/benefit decomposition, variation
+    statistics, design-space sweeps, and table rendering.
+``repro.soc``
+    The SOC data model: cores, hierarchy, IEEE 1500-style wrappers,
+    flattening.
+``repro.circuit`` / ``repro.atpg``
+    A gate-level netlist model with full-scan insertion, logic cones,
+    and a from-scratch stuck-at ATPG (PODEM + fault simulation +
+    compaction), replacing the paper's ATALANTA runs.
+``repro.synth``
+    Deterministic cone-structured circuit generation with ISCAS'89
+    profiles; assembles the paper's SOC1 and SOC2.
+``repro.itc02``
+    The ITC'02 benchmark SOCs (``.soc`` format, shipped data, calibrated
+    reconstruction solver, published table values).
+``repro.tam``
+    Wrapper/TAM design and scheduling substrate for the ablations the
+    paper scopes out (idle bits, imbalanced chains).
+``repro.experiments``
+    One module per paper table/figure, plus a CLI runner.
+"""
+
+from .core import (
+    TdvSummary,
+    analyze,
+    decompose,
+    summarize,
+    tdv_benefit,
+    tdv_modular,
+    tdv_monolithic,
+    tdv_monolithic_optimistic,
+    tdv_penalty,
+)
+from .soc import Core, Soc, SocBuilder, flatten, isocost
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Core",
+    "Soc",
+    "SocBuilder",
+    "TdvSummary",
+    "analyze",
+    "decompose",
+    "flatten",
+    "isocost",
+    "summarize",
+    "tdv_benefit",
+    "tdv_modular",
+    "tdv_monolithic",
+    "tdv_monolithic_optimistic",
+    "tdv_penalty",
+    "__version__",
+]

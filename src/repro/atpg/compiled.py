@@ -1,0 +1,128 @@
+"""Array-compiled circuit representation — the ATPG engines' hot format.
+
+Name-keyed :class:`~repro.circuit.netlist.Netlist` objects are pleasant
+to build and inspect but slow to simulate.  :class:`CompiledCircuit`
+lowers the full-scan combinational view once into dense integer arrays:
+net ids, a topologically ordered gate table, per-net fanout lists, and
+per-gate logic levels.  PODEM, the bit-parallel logic simulator, and
+the event-driven fault simulator all run on this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class CompiledGate:
+    """One gate in the compiled table."""
+
+    index: int  # position in topological order
+    gate_type: GateType
+    output: int  # net id
+    inputs: Tuple[int, ...]  # net ids
+    level: int  # 1 + max level of fanin gates (inputs are level 0)
+
+
+class CompiledCircuit:
+    """The full-scan combinational view of a netlist, as arrays.
+
+    ``input_ids`` covers primary inputs followed by pseudo-primary
+    inputs (flip-flop outputs); ``output_ids`` covers primary outputs
+    followed by pseudo-primary outputs (flip-flop D nets), matching the
+    conventions of :mod:`repro.circuit.netlist`.
+    """
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.name = netlist.name
+        order = netlist.topological_order()
+
+        self.net_names: List[str] = []
+        self.net_ids: Dict[str, int] = {}
+        for net in netlist.combinational_inputs():
+            self._intern(net)
+        for gate in order:
+            self._intern(gate.output)
+        # Output nets are already interned (inputs or gate outputs), but
+        # a PO may also be a PI in degenerate netlists; intern defensively.
+        for net in netlist.combinational_outputs():
+            self._intern(net)
+
+        self.input_ids: List[int] = [
+            self.net_ids[net] for net in netlist.combinational_inputs()
+        ]
+        self.output_ids: List[int] = [
+            self.net_ids[net] for net in netlist.combinational_outputs()
+        ]
+        self.primary_input_count = len(netlist.inputs)
+        self.primary_output_count = len(netlist.outputs)
+
+        level: Dict[int, int] = {net_id: 0 for net_id in self.input_ids}
+        self.gates: List[CompiledGate] = []
+        self.driver_gate: Dict[int, int] = {}  # net id -> gate index
+        for index, gate in enumerate(order):
+            in_ids = tuple(self.net_ids[net] for net in gate.inputs)
+            gate_level = 1 + max((level.get(i, 0) for i in in_ids), default=0)
+            out_id = self.net_ids[gate.output]
+            level[out_id] = gate_level
+            compiled = CompiledGate(
+                index=index,
+                gate_type=gate.gate_type,
+                output=out_id,
+                inputs=in_ids,
+                level=gate_level,
+            )
+            self.gates.append(compiled)
+            self.driver_gate[out_id] = index
+
+        self.net_count = len(self.net_names)
+        self.fanout: List[List[int]] = [[] for _ in range(self.net_count)]
+        for gate in self.gates:
+            for net_id in gate.inputs:
+                self.fanout[net_id].append(gate.index)
+        self.max_level = max((gate.level for gate in self.gates), default=0)
+        self._output_id_set = set(self.output_ids)
+
+    def _intern(self, net: str) -> int:
+        if net not in self.net_ids:
+            self.net_ids[net] = len(self.net_names)
+            self.net_names.append(net)
+        return self.net_ids[net]
+
+    def is_input(self, net_id: int) -> bool:
+        return net_id not in self.driver_gate
+
+    def is_output(self, net_id: int) -> bool:
+        return net_id in self._output_id_set
+
+    def fanout_cone_gates(self, net_id: int) -> List[int]:
+        """Gate indices in the transitive fanout of a net, topo order.
+
+        This is the region a fault on ``net_id`` can influence — the
+        event-driven fault simulator touches nothing else.
+        """
+        seen_gates = set()
+        seen_nets = {net_id}
+        stack = [net_id]
+        while stack:
+            net = stack.pop()
+            for gate_index in self.fanout[net]:
+                if gate_index not in seen_gates:
+                    seen_gates.add(gate_index)
+                    out = self.gates[gate_index].output
+                    if out not in seen_nets:
+                        seen_nets.add(out)
+                        stack.append(out)
+        return sorted(seen_gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.name!r}, nets={self.net_count}, "
+            f"gates={len(self.gates)}, inputs={len(self.input_ids)}, "
+            f"outputs={len(self.output_ids)})"
+        )

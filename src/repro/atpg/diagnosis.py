@@ -1,0 +1,203 @@
+"""Fault-dictionary diagnosis over the stuck-at model.
+
+The classic companion to ATPG: given the tester's observed pass/fail
+behaviour of a device under a known pattern set, rank the modelled
+faults by how well their simulated signatures explain the observation.
+Included because a modular test program localizes failures to a core
+for free (each core's test is separate) while a monolithic program
+needs exactly this machinery — another qualitative benefit of modular
+testing the paper mentions in passing (test re-use, debug).
+
+The dictionary is a full-response dictionary at (pseudo-)primary-output
+granularity: per fault, per pattern, the set of outputs that miscompare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .compiled import CompiledCircuit
+from .faults import Fault, collapse_faults
+from .faultsim import FaultSimulator
+from .logicsim import _eval_rail
+from .patterns import TestSet
+
+Signature = Tuple[FrozenSet[int], ...]  # per pattern: miscomparing output ids
+
+
+@dataclass
+class FaultDictionary:
+    """Simulated miscompare signatures for every fault under one test set."""
+
+    circuit_name: str
+    pattern_count: int
+    signatures: Dict[Fault, Signature]
+
+    def distinguishable_pairs(self) -> float:
+        """Fraction of fault pairs with distinct signatures (diagnosability)."""
+        sigs = list(self.signatures.values())
+        if len(sigs) < 2:
+            return 1.0
+        total = 0
+        distinct = 0
+        for i in range(len(sigs)):
+            for j in range(i + 1, len(sigs)):
+                total += 1
+                if sigs[i] != sigs[j]:
+                    distinct += 1
+        return distinct / total
+
+
+@dataclass(frozen=True)
+class DiagnosisCandidate:
+    """One fault's explanation quality for an observed failure."""
+
+    fault: Fault
+    matched_failures: int  # observed failing (pattern, output) pairs predicted
+    predicted_failures: int  # pairs the fault predicts in total
+    observed_failures: int
+
+    @property
+    def precision(self) -> float:
+        return (
+            self.matched_failures / self.predicted_failures
+            if self.predicted_failures
+            else 0.0
+        )
+
+    @property
+    def recall(self) -> float:
+        return (
+            self.matched_failures / self.observed_failures
+            if self.observed_failures
+            else 0.0
+        )
+
+    @property
+    def score(self) -> float:
+        """Harmonic mean of precision and recall (F1)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def build_dictionary(
+    circuit: CompiledCircuit,
+    test_set: TestSet,
+    faults: Optional[List[Fault]] = None,
+) -> FaultDictionary:
+    """Simulate every fault's full miscompare signature."""
+    if faults is None:
+        faults = collapse_faults(circuit)
+    simulator = FaultSimulator(circuit)
+    trits = test_set.as_trit_dicts(circuit)
+    signatures: Dict[Fault, List[FrozenSet[int]]] = {f: [] for f in faults}
+    for start in range(0, len(trits), 64):
+        block = trits[start:start + 64]
+        good, count = simulator.good_values(block)
+        for fault in faults:
+            per_output = _per_output_miscompares(simulator, good, count, fault)
+            for bit in range(count):
+                signatures[fault].append(
+                    frozenset(
+                        out for out, mask in per_output.items() if mask & (1 << bit)
+                    )
+                )
+    return FaultDictionary(
+        circuit_name=circuit.name,
+        pattern_count=len(trits),
+        signatures={f: tuple(sig) for f, sig in signatures.items()},
+    )
+
+
+def _per_output_miscompares(
+    simulator: FaultSimulator,
+    good,
+    count: int,
+    fault: Fault,
+) -> Dict[int, int]:
+    """Per-output miscompare masks (like detect_mask, but not OR-folded)."""
+    circuit = simulator.circuit
+    full = (1 << count) - 1
+    stuck_rail = (full, 0) if fault.stuck_at else (0, full)
+    faulty = {}
+    if fault.is_branch:
+        gate = circuit.gates[fault.gate_index]
+        inputs = [good[i] for i in gate.inputs]
+        inputs[fault.pin] = stuck_rail
+        out_rail = _eval_rail(gate.gate_type, inputs, full)
+        if out_rail == good[gate.output]:
+            return {}
+        faulty[gate.output] = out_rail
+        cone = circuit.fanout_cone_gates(gate.output)
+    else:
+        if good[fault.net] == stuck_rail:
+            return {}
+        faulty[fault.net] = stuck_rail
+        cone = circuit.fanout_cone_gates(fault.net)
+    for gate_index in cone:
+        gate = circuit.gates[gate_index]
+        if fault.is_branch and gate_index == fault.gate_index:
+            continue
+        if not any(i in faulty for i in gate.inputs):
+            continue
+        inputs = [faulty.get(i, good[i]) for i in gate.inputs]
+        out_rail = _eval_rail(gate.gate_type, inputs, full)
+        if out_rail != good[gate.output]:
+            faulty[gate.output] = out_rail
+    result = {}
+    for net_id in circuit.output_ids:
+        rail = faulty.get(net_id)
+        if rail is None:
+            continue
+        good_ones, good_zeros = good[net_id]
+        ones, zeros = rail
+        mask = ((good_ones & zeros) | (good_zeros & ones)) & full
+        if mask:
+            result[net_id] = mask
+    return result
+
+
+def observe_faulty_device(
+    circuit: CompiledCircuit,
+    test_set: TestSet,
+    fault: Fault,
+) -> List[FrozenSet[int]]:
+    """Simulate the tester's view of a device carrying ``fault``.
+
+    Returns, per pattern, the set of output net ids that miscompare —
+    the input to :func:`diagnose`.
+    """
+    return list(build_dictionary(circuit, test_set, faults=[fault]).signatures[fault])
+
+
+def diagnose(
+    dictionary: FaultDictionary,
+    observed: Sequence[FrozenSet[int]],
+    top: int = 5,
+) -> List[DiagnosisCandidate]:
+    """Rank dictionary faults by how well they explain the observation."""
+    if len(observed) != dictionary.pattern_count:
+        raise ValueError(
+            f"observation covers {len(observed)} patterns, dictionary "
+            f"{dictionary.pattern_count}"
+        )
+    observed_pairs = {
+        (k, out) for k, outs in enumerate(observed) for out in outs
+    }
+    candidates = []
+    for fault, signature in dictionary.signatures.items():
+        predicted_pairs = {
+            (k, out) for k, outs in enumerate(signature) for out in outs
+        }
+        candidates.append(
+            DiagnosisCandidate(
+                fault=fault,
+                matched_failures=len(observed_pairs & predicted_pairs),
+                predicted_failures=len(predicted_pairs),
+                observed_failures=len(observed_pairs),
+            )
+        )
+    candidates.sort(key=lambda c: (-c.score, c.fault.net, c.fault.stuck_at))
+    return candidates[:top]

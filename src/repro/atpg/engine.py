@@ -1,0 +1,313 @@
+"""The complete ATPG flow: random phase, PODEM, compaction, verification.
+
+This is the reproduction's stand-in for ATALANTA: given a (full-scan)
+netlist it produces a compacted, fully specified stuck-at test set and
+reports the pattern count — the ``T`` that every TDV formula of the
+paper consumes.  The flow is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuit.cones import Cone, extract_cones
+from ..circuit.netlist import Netlist
+from .compaction import static_compact
+from .compiled import CompiledCircuit
+from .faults import Fault, collapse_faults
+from .faultsim import FaultSimulator
+from .patterns import TestPattern, TestSet
+from .podem import Podem, PodemOutcome
+from .random_phase import run_random_phase
+
+
+@dataclass
+class AtpgResult:
+    """Everything the experiments need from one ATPG run."""
+
+    circuit_name: str
+    test_set: TestSet
+    fault_count: int
+    detected_count: int
+    untestable: List[Fault] = field(default_factory=list)
+    aborted: List[Fault] = field(default_factory=list)
+    random_pattern_count: int = 0
+    deterministic_pattern_count: int = 0
+    pre_compaction_count: int = 0
+
+    @property
+    def pattern_count(self) -> int:
+        """The ``T`` of the TDV formulas."""
+        return len(self.test_set)
+
+    @property
+    def fault_coverage(self) -> float:
+        return self.detected_count / self.fault_count if self.fault_count else 1.0
+
+    @property
+    def testable_coverage(self) -> float:
+        """Coverage over faults not proven untestable."""
+        testable = self.fault_count - len(self.untestable)
+        return self.detected_count / testable if testable else 1.0
+
+
+def generate_tests(
+    netlist: Netlist,
+    seed: int = 0,
+    backtrack_limit: int = 100,
+    random_batches: int = 32,
+    compact: bool = True,
+    faults: Optional[List[Fault]] = None,
+    dynamic_compaction: int = 0,
+) -> AtpgResult:
+    """Run the full ATPG flow on a netlist's full-scan view.
+
+    Phases: fault collapsing, random-pattern bootstrap with fault
+    dropping, PODEM for the resistant faults (dropping against the
+    fresh partial pattern after each success), greedy static compaction
+    of the partial patterns, deterministic X-fill, and a final
+    verification fault simulation that also prunes patterns detecting
+    nothing new.
+
+    ``dynamic_compaction`` > 0 enables secondary targeting: after each
+    PODEM success, up to that many queued faults are attempted with the
+    fresh pattern's assignments frozen, extending the pattern instead
+    of starting new ones — fewer, denser patterns at some CPU cost.
+    """
+    circuit = CompiledCircuit(netlist)
+    if faults is None:
+        faults = collapse_faults(circuit)
+    all_faults = list(faults)
+
+    random_result = run_random_phase(
+        circuit, all_faults, seed=seed, max_batches=random_batches
+    )
+    remaining = random_result.remaining_faults
+
+    podem = Podem(circuit, backtrack_limit=backtrack_limit)
+    simulator = FaultSimulator(circuit)
+    deterministic: List[TestPattern] = []
+    untestable: List[Fault] = []
+    aborted: List[Fault] = []
+    queue = list(remaining)
+    while queue:
+        fault = queue.pop(0)
+        result = podem.generate(fault)
+        if result.outcome is PodemOutcome.UNTESTABLE:
+            untestable.append(fault)
+            continue
+        if result.outcome is PodemOutcome.ABORTED:
+            aborted.append(fault)
+            continue
+        pattern = result.pattern
+        if dynamic_compaction > 0:
+            pattern = _extend_with_secondary_targets(
+                podem, pattern, queue[:dynamic_compaction]
+            )
+        deterministic.append(pattern)
+        # Drop every remaining fault this partial pattern provably detects.
+        trits = [pattern.as_trits(circuit.input_ids)]
+        good, count = simulator.good_values(trits)
+        queue = [f for f in queue if not simulator.detect_mask(good, count, f)]
+
+    pre_compaction = len(deterministic)
+    if compact and deterministic:
+        deterministic = static_compact(deterministic)
+
+    combined = TestSet(
+        circuit_name=netlist.name,
+        patterns=random_result.patterns + deterministic,
+    )
+    filled = combined.filled(circuit, seed=seed)
+
+    kept, detected = _verify_and_prune(circuit, filled, all_faults, simulator)
+    return AtpgResult(
+        circuit_name=netlist.name,
+        test_set=kept,
+        fault_count=len(all_faults),
+        detected_count=detected,
+        untestable=untestable,
+        aborted=aborted,
+        random_pattern_count=len(random_result.patterns),
+        deterministic_pattern_count=len(deterministic),
+        pre_compaction_count=pre_compaction,
+    )
+
+
+def _extend_with_secondary_targets(
+    podem: Podem,
+    pattern: TestPattern,
+    candidates: List[Fault],
+) -> TestPattern:
+    """Dynamic compaction: fold extra fault detections into one pattern.
+
+    Each candidate is attempted with the accumulated assignments frozen;
+    successes replace the pattern with the extended one.  Failures cost
+    one bounded PODEM run and change nothing — the candidate stays in
+    the queue for its own primary attempt later.
+    """
+    current = pattern
+    for extra in candidates:
+        result = podem.generate(extra, frozen=current.assignments)
+        if result.outcome is PodemOutcome.DETECTED:
+            current = result.pattern
+    return current
+
+
+def _verify_and_prune(
+    circuit: CompiledCircuit,
+    test_set: TestSet,
+    faults: List[Fault],
+    simulator: FaultSimulator,
+) -> tuple:
+    """Final fault simulation; drops patterns that add no coverage.
+
+    The pass runs in *reverse* pattern order: later patterns are the
+    compacted deterministic ones, which detect many faults each, so
+    crediting them first sheds most of the sparse random-phase keepers —
+    the classic reverse-order fault-simulation pruning, typically worth
+    a multi-x pattern-count reduction over a forward pass.  The kept
+    patterns come back in their original relative order.
+    """
+    remaining = list(faults)
+    detected = 0
+    batch_size = 64
+    patterns = test_set.patterns
+    keep_flags = [False] * len(patterns)
+    reversed_index = list(range(len(patterns) - 1, -1, -1))
+    for start in range(0, len(patterns), batch_size):
+        chunk = reversed_index[start:start + batch_size]
+        batch = [patterns[i] for i in chunk]
+        trits = [p.as_trits(circuit.input_ids) for p in batch]
+        good, count = simulator.good_values(trits)
+        survivors = []
+        for fault in remaining:
+            mask = simulator.detect_mask(good, count, fault)
+            if mask:
+                detected += 1
+                keep_flags[chunk[(mask & -mask).bit_length() - 1]] = True
+            else:
+                survivors.append(fault)
+        remaining = survivors
+    kept = TestSet(
+        circuit_name=test_set.circuit_name,
+        patterns=[p for p, keep in zip(patterns, keep_flags) if keep],
+    )
+    return kept, detected
+
+
+def generate_n_detect_tests(
+    netlist: Netlist,
+    n_detect: int = 3,
+    seed: int = 0,
+    backtrack_limit: int = 100,
+    max_passes: Optional[int] = None,
+) -> AtpgResult:
+    """N-detect test generation: every fault observed ``n_detect`` times.
+
+    Modern defect-oriented flows require each stuck-at fault to be
+    detected by several *distinct* patterns, which raises the chance of
+    incidentally catching the unmodelled defect at the same site.  The
+    flow here runs the standard engine repeatedly, masking each fault
+    once per pass until its quota is met; pattern counts therefore grow
+    roughly linearly in ``n_detect`` — yet another pattern-count
+    multiplier feeding the paper's per-core ``T`` values.
+
+    The result's ``test_set`` is the concatenation of the per-pass sets
+    (re-verified as a whole); ``detected_count`` counts faults that met
+    the full quota.
+    """
+    if n_detect < 1:
+        raise ValueError(f"n_detect must be >= 1, got {n_detect}")
+    circuit = CompiledCircuit(netlist)
+    all_faults = collapse_faults(circuit)
+    simulator = FaultSimulator(circuit)
+
+    remaining_quota: Dict[Fault, int] = {fault: n_detect for fault in all_faults}
+    combined = TestSet(circuit_name=netlist.name)
+    untestable: List[Fault] = []
+    aborted: List[Fault] = []
+    passes = 0
+    limit = max_passes if max_passes is not None else n_detect + 2
+    while passes < limit and remaining_quota:
+        targets = list(remaining_quota)
+        result = generate_tests(
+            netlist,
+            seed=seed + passes,
+            backtrack_limit=backtrack_limit,
+            faults=targets,
+        )
+        if passes == 0:
+            untestable = result.untestable
+            for fault in untestable:
+                remaining_quota.pop(fault, None)
+        aborted = result.aborted
+        combined.patterns.extend(result.test_set.patterns)
+        # Charge each new pattern against the quotas it serves.
+        for pattern in result.test_set:
+            trits = [pattern.as_trits(circuit.input_ids)]
+            good, count = simulator.good_values(trits)
+            for fault in list(remaining_quota):
+                if simulator.detect_mask(good, count, fault):
+                    remaining_quota[fault] -= 1
+                    if remaining_quota[fault] <= 0:
+                        del remaining_quota[fault]
+        passes += 1
+
+    satisfied = len(all_faults) - len(untestable) - len(remaining_quota)
+    return AtpgResult(
+        circuit_name=netlist.name,
+        test_set=combined,
+        fault_count=len(all_faults),
+        detected_count=satisfied,
+        untestable=untestable,
+        aborted=aborted,
+        random_pattern_count=0,
+        deterministic_pattern_count=len(combined),
+        pre_compaction_count=len(combined),
+    )
+
+
+def extract_cone_netlist(netlist: Netlist, cone: Cone) -> Netlist:
+    """The standalone netlist of one logic cone.
+
+    Inputs are the cone's (pseudo-)primary inputs, the single output is
+    the cone's output net; only the cone's gates are copied.  This is
+    the unit the paper's Section 3 reasons about.
+    """
+    sub = Netlist(f"{netlist.name}_cone_{cone.output}")
+    for net in sorted(cone.inputs):
+        sub.add_input(net)
+    cone_gates = set(cone.gates)
+    for gate in netlist.topological_order():
+        if gate.output in cone_gates:
+            sub.add_gate(gate.gate_type, gate.output, gate.inputs)
+    if cone.output not in cone_gates and cone.output not in cone.inputs:
+        raise ValueError(f"cone output {cone.output!r} has no driver in the cone")
+    sub.mark_output(cone.output)
+    sub.validate()
+    return sub
+
+
+def per_cone_pattern_counts(
+    netlist: Netlist,
+    seed: int = 0,
+    backtrack_limit: int = 50,
+) -> Dict[str, int]:
+    """Stand-alone ATPG pattern count for every logic cone.
+
+    This measures the quantity the paper's whole argument rests on: the
+    variation of per-cone pattern counts that monolithic testing tops
+    off to the maximum.  Intended for small circuits (it runs one ATPG
+    per cone).
+    """
+    counts: Dict[str, int] = {}
+    for cone in extract_cones(netlist):
+        if not cone.gates:
+            counts[cone.output] = 0  # feed-through: nothing to test
+            continue
+        sub = extract_cone_netlist(netlist, cone)
+        result = generate_tests(sub, seed=seed, backtrack_limit=backtrack_limit)
+        counts[cone.output] = result.pattern_count
+    return counts

@@ -1,0 +1,145 @@
+"""Single stuck-at fault model with structural equivalence collapsing.
+
+The fault universe contains a stuck-at-0 and stuck-at-1 fault on every
+net (stem faults) and on every gate input pin whose net fans out to
+more than one load (branch faults — on single-load nets the branch is
+equivalent to the stem and is not enumerated).
+
+Collapsing uses the classic intra-gate equivalences: a controlling
+input value is indistinguishable from the corresponding output value
+(AND: input sa0 ≡ output sa0; NAND: input sa0 ≡ output sa1; OR: input
+sa1 ≡ output sa1; NOR: input sa1 ≡ output sa0), and inverters/buffers
+collapse both polarities.  Equivalence classes are built with
+union-find; one representative per class survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import GateType
+from .compiled import CompiledCircuit
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One stuck-at fault.
+
+    ``gate_index``/``pin`` identify a branch fault on a specific gate
+    input; both are None for a stem fault on the net itself.
+    """
+
+    net: int
+    stuck_at: int  # 0 or 1
+    gate_index: Optional[int] = None
+    pin: Optional[int] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.gate_index is not None
+
+    def describe(self, circuit: CompiledCircuit) -> str:
+        site = circuit.net_names[self.net]
+        if self.is_branch:
+            gate = circuit.gates[self.gate_index]
+            site = f"{site}->{circuit.net_names[gate.output]}[{self.pin}]"
+        return f"{site} stuck-at-{self.stuck_at}"
+
+
+def full_fault_universe(circuit: CompiledCircuit) -> List[Fault]:
+    """All stem and (multi-load) branch faults, both polarities."""
+    faults: List[Fault] = []
+    for net_id in range(circuit.net_count):
+        for value in (0, 1):
+            faults.append(Fault(net_id, value))
+    for gate in circuit.gates:
+        for pin, net_id in enumerate(gate.inputs):
+            if len(circuit.fanout[net_id]) > 1:
+                for value in (0, 1):
+                    faults.append(Fault(net_id, value, gate.index, pin))
+    return faults
+
+
+class _UnionFind:
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[max(ri, rj)] = min(ri, rj)
+
+
+def collapse_faults(
+    circuit: CompiledCircuit,
+    faults: Optional[List[Fault]] = None,
+) -> List[Fault]:
+    """Equivalence-collapse a fault list; returns one fault per class.
+
+    Representatives are the lowest-indexed fault of each class, so
+    stems dominate branches and earlier nets dominate later ones —
+    deterministic for reproducible pattern counts.
+    """
+    if faults is None:
+        faults = full_fault_universe(circuit)
+    index_of: Dict[Tuple, int] = {}
+    for i, fault in enumerate(faults):
+        index_of[(fault.net, fault.stuck_at, fault.gate_index, fault.pin)] = i
+    uf = _UnionFind(len(faults))
+
+    def lookup(net: int, stuck_at: int, gate_index=None, pin=None) -> Optional[int]:
+        return index_of.get((net, stuck_at, gate_index, pin))
+
+    for gate in circuit.gates:
+        control = gate.gate_type.controlling_value
+        inverting = gate.gate_type.inverting
+        if gate.gate_type in (GateType.NOT, GateType.BUF):
+            # Both polarities collapse through the gate.
+            in_net = gate.inputs[0]
+            for value in (0, 1):
+                out_value = 1 - value if inverting else value
+                _maybe_union(uf, lookup(in_net, value), lookup(gate.output, out_value))
+                _maybe_union(
+                    uf,
+                    lookup(in_net, value, gate.index, 0),
+                    lookup(gate.output, out_value),
+                )
+            continue
+        if control is None:
+            continue  # XOR/XNOR have no intra-gate equivalences
+        out_value = 1 - control if inverting else control
+        for pin, in_net in enumerate(gate.inputs):
+            # The branch fault (or the stem when there is no branch) at
+            # the controlling value is equivalent to the output fault.
+            branch = lookup(in_net, control, gate.index, pin)
+            if branch is None:
+                branch = lookup(in_net, control)
+            _maybe_union(uf, branch, lookup(gate.output, out_value))
+
+    representatives: Dict[int, Fault] = {}
+    for i, fault in enumerate(faults):
+        root = uf.find(i)
+        if root not in representatives:
+            representatives[root] = faults[root]
+    return sorted(
+        representatives.values(),
+        key=lambda f: (f.net, f.stuck_at, f.gate_index is not None, f.gate_index or 0, f.pin or 0),
+    )
+
+
+def _maybe_union(uf: _UnionFind, i: Optional[int], j: Optional[int]) -> None:
+    if i is not None and j is not None:
+        uf.union(i, j)
+
+
+def collapse_ratio(circuit: CompiledCircuit) -> float:
+    """Collapsed over full fault-universe size (a sanity metric)."""
+    full = full_fault_universe(circuit)
+    return len(collapse_faults(circuit, full)) / len(full)

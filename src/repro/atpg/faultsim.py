@@ -1,0 +1,147 @@
+"""Event-driven, bit-parallel stuck-at fault simulation.
+
+Parallel-pattern single-fault propagation: the good machine is
+simulated once per pattern batch (arbitrarily wide, thanks to Python
+integers), then each fault is injected and only its fanout cone is
+re-evaluated, comparing faulty against good rails at the
+(pseudo-)primary outputs.  Fault dropping removes detected faults from
+consideration as soon as any pattern in the batch catches them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .compiled import CompiledCircuit
+from .faults import Fault
+from .logicsim import Rail, _eval_rail, pack_patterns, simulate
+
+
+class FaultSimulator:
+    """Reusable fault-simulation context for one compiled circuit."""
+
+    def __init__(self, circuit: CompiledCircuit):
+        self.circuit = circuit
+        self._cone_cache: Dict[int, List[int]] = {}
+
+    def _fanout_cone(self, net_id: int) -> List[int]:
+        cone = self._cone_cache.get(net_id)
+        if cone is None:
+            cone = self.circuit.fanout_cone_gates(net_id)
+            self._cone_cache[net_id] = cone
+        return cone
+
+    def good_values(
+        self, patterns: Sequence[Dict[int, Optional[int]]]
+    ) -> Tuple[List[Rail], int]:
+        """Simulate the fault-free machine over a pattern batch."""
+        rails = pack_patterns(self.circuit, patterns)
+        return simulate(self.circuit, rails, len(patterns)), len(patterns)
+
+    def detect_mask(
+        self,
+        good: List[Rail],
+        pattern_count: int,
+        fault: Fault,
+    ) -> int:
+        """Bitmask of batch patterns that detect ``fault``.
+
+        A pattern detects the fault when some (pseudo-)primary output
+        has a defined good value and the opposite defined faulty value.
+        """
+        circuit = self.circuit
+        full = (1 << pattern_count) - 1
+        stuck_rail: Rail = (full, 0) if fault.stuck_at else (0, full)
+        faulty: Dict[int, Rail] = {}
+
+        if fault.is_branch:
+            gate = circuit.gates[fault.gate_index]
+            inputs = [good[i] for i in gate.inputs]
+            inputs[fault.pin] = stuck_rail
+            out_rail = _eval_rail(gate.gate_type, inputs, full)
+            if out_rail == good[gate.output]:
+                return 0
+            faulty[gate.output] = out_rail
+            cone = self._fanout_cone(gate.output)
+        else:
+            if good[fault.net] == stuck_rail:
+                return 0
+            faulty[fault.net] = stuck_rail
+            cone = self._fanout_cone(fault.net)
+
+        for gate_index in cone:
+            gate = circuit.gates[gate_index]
+            if fault.is_branch and gate_index == fault.gate_index:
+                continue  # already evaluated with the pin override
+            if not any(i in faulty for i in gate.inputs):
+                continue
+            inputs = [faulty.get(i, good[i]) for i in gate.inputs]
+            out_rail = _eval_rail(gate.gate_type, inputs, full)
+            if out_rail != good[gate.output]:
+                faulty[gate.output] = out_rail
+
+        detected = 0
+        for net_id in circuit.output_ids:
+            rail = faulty.get(net_id)
+            if rail is None:
+                continue
+            good_ones, good_zeros = good[net_id]
+            ones, zeros = rail
+            detected |= (good_ones & zeros) | (good_zeros & ones)
+        return detected & full
+
+    def simulate_batch(
+        self,
+        patterns: Sequence[Dict[int, Optional[int]]],
+        faults: Iterable[Fault],
+    ) -> Dict[Fault, int]:
+        """Detection masks for every fault over one pattern batch."""
+        good, count = self.good_values(patterns)
+        return {fault: self.detect_mask(good, count, fault) for fault in faults}
+
+    def drop_detected(
+        self,
+        patterns: Sequence[Dict[int, Optional[int]]],
+        faults: List[Fault],
+    ) -> Tuple[List[Fault], int]:
+        """Partition faults into (remaining, detected-count) for a batch."""
+        good, count = self.good_values(patterns)
+        remaining = []
+        dropped = 0
+        for fault in faults:
+            if self.detect_mask(good, count, fault):
+                dropped += 1
+            else:
+                remaining.append(fault)
+        return remaining, dropped
+
+    def useful_pattern_mask(
+        self,
+        patterns: Sequence[Dict[int, Optional[int]]],
+        faults: List[Fault],
+    ) -> int:
+        """Bitmask of patterns that detect at least one listed fault."""
+        good, count = self.good_values(patterns)
+        useful = 0
+        for fault in faults:
+            useful |= self.detect_mask(good, count, fault)
+        return useful
+
+
+def fault_coverage(
+    circuit: CompiledCircuit,
+    patterns: Sequence[Dict[int, Optional[int]]],
+    faults: List[Fault],
+    batch_size: int = 64,
+) -> float:
+    """Fraction of ``faults`` detected by ``patterns``."""
+    if not faults:
+        raise ValueError("empty fault list")
+    simulator = FaultSimulator(circuit)
+    remaining = list(faults)
+    for start in range(0, len(patterns), batch_size):
+        batch = patterns[start:start + batch_size]
+        remaining, _ = simulator.drop_detected(batch, remaining)
+        if not remaining:
+            break
+    return 1.0 - len(remaining) / len(faults)

@@ -1,0 +1,210 @@
+"""Linear-feedback shift registers and MISR response compaction.
+
+The paper's introduction notes that a modular test's pattern source and
+sink can sit on-chip (BIST) instead of on the ATE — trading stored test
+data for generated patterns and compacted signatures.  This module
+provides the two standard primitives: a Fibonacci-style LFSR as the
+pseudo-random pattern source and a multiple-input signature register
+(MISR) as the response sink.
+
+Feedback polynomials are not hard-coded: :func:`find_primitive_taps`
+*searches* for a primitive polynomial of the requested degree and
+:func:`is_primitive` proves primitivity algebraically (x has
+multiplicative order 2^n - 1 in GF(2)[x]/p(x)), so maximal length is a
+theorem here, not a table lookup — and a property test confirms it by
+walking the full cycle for small widths.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Sequence
+
+MAX_WIDTH = 32
+
+
+# -- GF(2) polynomial arithmetic (polynomials as int bitmasks) -----------------
+
+
+def _polymulmod(a: int, b: int, modulus: int) -> int:
+    """(a * b) mod modulus over GF(2)."""
+    degree = modulus.bit_length() - 1
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a >> degree & 1:
+            a ^= modulus
+    return result
+
+
+def _polypowmod(base: int, exponent: int, modulus: int) -> int:
+    result = 1
+    while exponent:
+        if exponent & 1:
+            result = _polymulmod(result, base, modulus)
+        base = _polymulmod(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def _prime_factors(value: int) -> List[int]:
+    factors = []
+    candidate = 2
+    while candidate * candidate <= value:
+        if value % candidate == 0:
+            factors.append(candidate)
+            while value % candidate == 0:
+                value //= candidate
+        candidate += 1 if candidate == 2 else 2
+    if value > 1:
+        factors.append(value)
+    return factors
+
+
+def is_primitive(width: int, taps: int) -> bool:
+    """Whether ``x^width + sum(x^i for tap bits i)`` is primitive.
+
+    Primitive means x generates the full multiplicative group of
+    GF(2^width): ``x^(2^w - 1) == 1`` and ``x^((2^w - 1)/q) != 1`` for
+    every prime factor q — exactly the maximal-length LFSR condition.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if not taps & 1:
+        return False  # no constant term: x divides p, not even irreducible
+    if taps >> width:
+        raise ValueError("taps must have degree below width")
+    modulus = (1 << width) | taps
+    order = (1 << width) - 1
+    if _polypowmod(2, order, modulus) != 1:  # 2 encodes the polynomial x
+        return False
+    return all(
+        _polypowmod(2, order // q, modulus) != 1 for q in _prime_factors(order)
+    )
+
+
+@lru_cache(maxsize=None)
+def find_primitive_taps(width: int) -> int:
+    """The lowest-weight, lowest-value primitive tap mask for ``width``.
+
+    Deterministic: trinomials (x^w + x^k + 1) are tried first, then
+    pentanomials, so the result is stable across runs.
+    """
+    if not 2 <= width <= MAX_WIDTH:
+        raise ValueError(f"width must be in [2, {MAX_WIDTH}], got {width}")
+    # Trinomials: taps = x^k + 1.
+    for k in range(1, width):
+        taps = (1 << k) | 1
+        if is_primitive(width, taps):
+            return taps
+    # Pentanomials: taps = x^a + x^b + x^c + 1.
+    for a in range(3, width):
+        for b in range(2, a):
+            for c in range(1, b):
+                taps = (1 << a) | (1 << b) | (1 << c) | 1
+                if is_primitive(width, taps):
+                    return taps
+    raise RuntimeError(f"no primitive polynomial found for width {width}")
+
+
+class Lfsr:
+    """A Fibonacci LFSR over a proven-primitive polynomial.
+
+    With a primitive polynomial the register cycles through all
+    ``2**width - 1`` non-zero states — the maximal-length property BIST
+    relies on for pattern coverage.
+    """
+
+    def __init__(self, width: int, seed: int = 1, taps: int = None):
+        if not 2 <= width <= MAX_WIDTH:
+            raise ValueError(f"width must be in [2, {MAX_WIDTH}], got {width}")
+        if not 0 < seed < (1 << width):
+            raise ValueError(f"seed must be a non-zero {width}-bit value")
+        if taps is None:
+            taps = find_primitive_taps(width)
+        elif not is_primitive(width, taps):
+            raise ValueError(f"taps {taps:#x} are not primitive for width {width}")
+        self.width = width
+        self.taps = taps
+        self.state = seed
+
+    def step(self) -> int:
+        """Advance one cycle; returns the new state.
+
+        The update is the companion recurrence of the feedback
+        polynomial: the new low bit is the parity of the tapped state
+        bits plus the outgoing high bit.
+        """
+        high = (self.state >> (self.width - 1)) & 1
+        feedback = high ^ _parity(self.state & (self.taps >> 1))
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        return self.state
+
+    def states(self, count: int) -> Iterator[int]:
+        """The next ``count`` states."""
+        for _ in range(count):
+            yield self.step()
+
+    def pattern_bits(self, count: int) -> List[List[int]]:
+        """``count`` patterns of ``width`` bits each (MSB first)."""
+        patterns = []
+        for state in self.states(count):
+            patterns.append(
+                [(state >> (self.width - 1 - k)) & 1 for k in range(self.width)]
+            )
+        return patterns
+
+    def period(self, limit: int = 1 << 22) -> int:
+        """Cycle length from the current state (bounded walk)."""
+        start = self.state
+        steps = 0
+        while steps < limit:
+            self.step()
+            steps += 1
+            if self.state == start:
+                return steps
+        raise RuntimeError("period exceeds limit")
+
+
+class Misr:
+    """A multiple-input signature register (response compactor).
+
+    Each cycle XORs an output-response vector into the shifting state;
+    after the test the residual state is the signature.  Aliasing (a
+    faulty response mapping to the good signature) has probability
+    ~``2**-width``.
+    """
+
+    def __init__(self, width: int, seed: int = 0):
+        if not 2 <= width <= MAX_WIDTH:
+            raise ValueError(f"width must be in [2, {MAX_WIDTH}], got {width}")
+        self.width = width
+        self.taps = find_primitive_taps(width)
+        self.state = seed
+
+    def absorb(self, response_bits: Sequence[int]) -> int:
+        """Compact one response vector (must fit the register width)."""
+        if len(response_bits) > self.width:
+            raise ValueError(
+                f"response of {len(response_bits)} bits exceeds MISR width "
+                f"{self.width}"
+            )
+        high = (self.state >> (self.width - 1)) & 1
+        feedback = high ^ _parity(self.state & (self.taps >> 1))
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        word = 0
+        for bit in response_bits:
+            word = (word << 1) | (bit & 1)
+        self.state ^= word
+        return self.state
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1

@@ -1,0 +1,103 @@
+"""Test patterns and test sets.
+
+A pattern assigns 0/1/X to the (pseudo-)primary inputs of one circuit;
+internally assignments are keyed by compiled net id.  A test pattern
+with X bits is *partial* (PODEM output, compaction input); filling
+replaces the X bits deterministically before fault simulation and
+delivery, which is exactly the point where the paper's "don't care
+dummy bits" become real shifted bits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .compiled import CompiledCircuit
+
+
+@dataclass
+class TestPattern:
+    """One test pattern: input net id -> 0/1 (unlisted inputs are X)."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    assignments: Dict[int, int] = field(default_factory=dict)
+
+    def specified_bits(self) -> int:
+        """Number of care bits."""
+        return len(self.assignments)
+
+    def conflicts_with(self, other: "TestPattern") -> bool:
+        """True when some input is assigned opposite values."""
+        small, large = self.assignments, other.assignments
+        if len(small) > len(large):
+            small, large = large, small
+        for net_id, value in small.items():
+            other_value = large.get(net_id)
+            if other_value is not None and other_value != value:
+                return True
+        return False
+
+    def merged_with(self, other: "TestPattern") -> "TestPattern":
+        """Union of two non-conflicting patterns."""
+        merged = dict(self.assignments)
+        merged.update(other.assignments)
+        return TestPattern(merged)
+
+    def filled(self, input_ids: Sequence[int], rng: random.Random) -> "TestPattern":
+        """Replace X bits with random values over the given input list."""
+        assignments = dict(self.assignments)
+        for net_id in input_ids:
+            if net_id not in assignments:
+                assignments[net_id] = rng.getrandbits(1)
+        return TestPattern(assignments)
+
+    def as_trits(self, input_ids: Sequence[int]) -> Dict[int, Optional[int]]:
+        """The dict form the simulators consume (None for X)."""
+        return {net_id: self.assignments.get(net_id) for net_id in input_ids}
+
+
+@dataclass
+class TestSet:
+    """An ordered collection of patterns for one circuit."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    circuit_name: str
+    patterns: List[TestPattern] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[TestPattern]:
+        return iter(self.patterns)
+
+    def add(self, pattern: TestPattern) -> None:
+        self.patterns.append(pattern)
+
+    def filled(self, circuit: CompiledCircuit, seed: int = 0) -> "TestSet":
+        """Deterministically fill every X bit (one RNG for the whole set)."""
+        rng = random.Random(seed)
+        return TestSet(
+            circuit_name=self.circuit_name,
+            patterns=[p.filled(circuit.input_ids, rng) for p in self.patterns],
+        )
+
+    def as_trit_dicts(self, circuit: CompiledCircuit) -> List[Dict[int, Optional[int]]]:
+        return [p.as_trits(circuit.input_ids) for p in self.patterns]
+
+    def care_bit_fraction(self, circuit: CompiledCircuit) -> float:
+        """Mean fraction of specified bits — the compaction headroom."""
+        if not self.patterns:
+            raise ValueError("empty test set")
+        width = len(circuit.input_ids)
+        return sum(p.specified_bits() for p in self.patterns) / (width * len(self.patterns))
+
+
+def random_pattern(
+    input_ids: Sequence[int], rng: random.Random
+) -> TestPattern:
+    """A fully specified random pattern."""
+    return TestPattern({net_id: rng.getrandbits(1) for net_id in input_ids})

@@ -1,0 +1,309 @@
+"""PODEM — path-oriented decision making test generation.
+
+Classic PODEM (Goel 1981) over the five-valued D-algebra: all decisions
+are made at (pseudo-)primary inputs; objectives are translated to input
+assignments by backtracing through the circuit; forward implication is
+a five-valued resimulation with the target fault injected.  The search
+backtracks by flipping the most recent unflipped input decision,
+bounded by a backtrack limit that separates *aborted* from proven
+*untestable* faults.
+
+For speed, the implication pass runs over a flattened opcode table
+(one tuple per gate) and computes the D-frontier and output-detection
+flags in the same sweep, instead of re-scanning the circuit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import GateType
+from .compiled import CompiledCircuit
+from .faults import Fault
+from .patterns import TestPattern
+from .values import (
+    AND3,
+    COMPOSE3,
+    FAULTY_COMPONENT,
+    GOOD_COMPONENT,
+    NOT_TABLE,
+    ONE,
+    OR3,
+    X,
+    XOR3,
+    ZERO,
+    compose,
+    good_value,
+)
+
+# Opcodes for the flattened gate table.
+_OP_BUF, _OP_NOT, _OP_AND, _OP_NAND, _OP_OR, _OP_NOR, _OP_XOR, _OP_XNOR = range(8)
+
+_OPCODE = {
+    GateType.BUF: _OP_BUF,
+    GateType.NOT: _OP_NOT,
+    GateType.AND: _OP_AND,
+    GateType.NAND: _OP_NAND,
+    GateType.OR: _OP_OR,
+    GateType.NOR: _OP_NOR,
+    GateType.XOR: _OP_XOR,
+    GateType.XNOR: _OP_XNOR,
+}
+
+# Values 3 (D) and 4 (D-bar) carry a fault effect; X is 2.
+_FAULTED_MIN = 3
+
+
+class PodemOutcome(enum.Enum):
+    DETECTED = "detected"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    outcome: PodemOutcome
+    pattern: Optional[TestPattern]
+    backtracks: int
+    decisions: int
+
+
+@dataclass
+class _ImplyState:
+    """Everything one implication sweep learns."""
+
+    values: List[int]
+    frontier: List[int]  # gate table indices with X output and faulted input
+    detected: bool
+
+
+class Podem:
+    """A reusable PODEM engine for one compiled circuit."""
+
+    def __init__(self, circuit: CompiledCircuit, backtrack_limit: int = 100):
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self._input_set = set(circuit.input_ids)
+        self._is_output = [False] * circuit.net_count
+        for net_id in circuit.output_ids:
+            self._is_output[net_id] = True
+        # Flattened gate table: (opcode, output id, input ids).
+        self._table: List[Tuple[int, int, Tuple[int, ...]]] = [
+            (_OPCODE[gate.gate_type], gate.output, gate.inputs)
+            for gate in circuit.gates
+        ]
+        self._level = [gate.level for gate in circuit.gates]
+
+    # -- public ------------------------------------------------------------
+
+    def generate(
+        self, fault: Fault, frozen: Optional[Dict[int, int]] = None
+    ) -> PodemResult:
+        """Find an input assignment detecting ``fault``, or prove/abort.
+
+        ``frozen`` pre-assigns input values the search may use but never
+        revisit — the dynamic-compaction hook: detecting a *secondary*
+        fault under the primary pattern's assignments extends that
+        pattern instead of opening a new one.  An UNTESTABLE outcome
+        with ``frozen`` set means only "not under these constraints".
+        """
+        assignments: Dict[int, int] = dict(frozen) if frozen else {}
+        stack: List[Tuple[int, bool]] = []  # (net_id, already flipped)
+        backtracks = 0
+        decisions = 0
+
+        while True:
+            state = self._imply(assignments, fault)
+            if state.detected:
+                return PodemResult(
+                    PodemOutcome.DETECTED,
+                    TestPattern(dict(assignments)),
+                    backtracks,
+                    decisions,
+                )
+            objective = None
+            if self._promising(state, fault):
+                objective = self._objective(state, fault)
+            if objective is not None:
+                pi, value = self._backtrace(objective, state.values)
+                if pi is not None:
+                    assignments[pi] = value
+                    stack.append((pi, False))
+                    decisions += 1
+                    continue
+                # No X input reachable for the objective: treat as conflict.
+            backtracks += 1
+            if backtracks > self.backtrack_limit:
+                return PodemResult(PodemOutcome.ABORTED, None, backtracks, decisions)
+            while stack:
+                pi, flipped = stack.pop()
+                if flipped:
+                    del assignments[pi]
+                else:
+                    assignments[pi] = 1 - assignments[pi]
+                    stack.append((pi, True))
+                    break
+            else:
+                return PodemResult(PodemOutcome.UNTESTABLE, None, backtracks, decisions)
+
+    # -- implication --------------------------------------------------------
+
+    def _imply(self, assignments: Dict[int, int], fault: Fault) -> _ImplyState:
+        """Forward five-valued sweep with the fault injected.
+
+        One pass computes net values, the D-frontier, and whether a
+        fault effect reached a (pseudo-)primary output.
+        """
+        circuit = self.circuit
+        values = [X] * circuit.net_count
+        for net_id, assigned in assignments.items():
+            values[net_id] = assigned  # ZERO == 0, ONE == 1
+        fault_net = fault.net
+        stuck = fault.stuck_at
+        branch_gate = fault.gate_index if fault.is_branch else -1
+        branch_pin = fault.pin
+        if branch_gate < 0:
+            values[fault_net] = _inject(values[fault_net], stuck)
+
+        not_t = NOT_TABLE
+        good_c, faulty_c, compose3 = GOOD_COMPONENT, FAULTY_COMPONENT, COMPOSE3
+        is_output = self._is_output
+        frontier: List[int] = []
+        detected = False
+
+        for gate_index, (op, out_id, in_ids) in enumerate(self._table):
+            v0 = values[in_ids[0]]
+            if gate_index == branch_gate and branch_pin == 0:
+                v0 = _inject(v0, stuck)
+            if op == _OP_BUF:
+                out = v0
+            elif op == _OP_NOT:
+                out = not_t[v0]
+            else:
+                # Componentwise fold — exact for wide gates (see values.py).
+                if op <= _OP_NAND:  # AND / NAND
+                    table3, good, faulty = AND3, 1, 1
+                elif op <= _OP_NOR:  # OR / NOR
+                    table3, good, faulty = OR3, 0, 0
+                else:  # XOR / XNOR
+                    table3, good, faulty = XOR3, 0, 0
+                faulted_input = v0 >= _FAULTED_MIN
+                good = table3[good][good_c[v0]]
+                faulty = table3[faulty][faulty_c[v0]]
+                for pin in range(1, len(in_ids)):
+                    v = values[in_ids[pin]]
+                    if gate_index == branch_gate and pin == branch_pin:
+                        v = _inject(v, stuck)
+                    if v >= _FAULTED_MIN:
+                        faulted_input = True
+                    good = table3[good][good_c[v]]
+                    faulty = table3[faulty][faulty_c[v]]
+                out = compose3[good][faulty]
+                if op in (_OP_NAND, _OP_NOR, _OP_XNOR):
+                    out = not_t[out]
+                if out == X and faulted_input:
+                    frontier.append(gate_index)
+            if branch_gate < 0 and out_id == fault_net:
+                out = _inject(out, stuck)
+            values[out_id] = out
+            if out >= _FAULTED_MIN and is_output[out_id]:
+                detected = True
+        # A faulted primary input that is itself an output (degenerate).
+        if not detected and branch_gate < 0 and values[fault_net] >= _FAULTED_MIN:
+            detected = is_output[fault_net]
+        return _ImplyState(values=values, frontier=frontier, detected=detected)
+
+    # -- search guidance ------------------------------------------------------
+
+    def _promising(self, state: _ImplyState, fault: Fault) -> bool:
+        """Whether the current assignment can still be extended to a test."""
+        site = self._site_value(state.values, fault)
+        if site in (ZERO, ONE):
+            return False  # fault can no longer be activated
+        if site == X:
+            return True  # activation still pending
+        if not state.frontier:
+            return False
+        return self._x_path_exists(state)
+
+    def _site_value(self, values: List[int], fault: Fault) -> int:
+        if fault.is_branch:
+            stem = values[fault.net]
+            if good_value(stem) is None:
+                return X
+            return _inject(stem, fault.stuck_at)
+        return values[fault.net]
+
+    def _x_path_exists(self, state: _ImplyState) -> bool:
+        """Some D-frontier output reaches a PO through X-valued nets."""
+        circuit = self.circuit
+        values = state.values
+        seen = set()
+        stack = [self._table[g][1] for g in state.frontier]
+        while stack:
+            net_id = stack.pop()
+            if net_id in seen:
+                continue
+            seen.add(net_id)
+            if self._is_output[net_id]:
+                return True
+            for gate_index in circuit.fanout[net_id]:
+                out = self._table[gate_index][1]
+                if values[out] == X and out not in seen:
+                    stack.append(out)
+        return False
+
+    def _objective(self, state: _ImplyState, fault: Fault) -> Optional[Tuple[int, int]]:
+        site = self._site_value(state.values, fault)
+        if site == X:
+            return (fault.net, 1 - fault.stuck_at)  # activate the fault
+        # Propagate: lowest-level D-frontier gate, one X input to the
+        # non-controlling value.
+        gate_index = min(state.frontier, key=lambda g: self._level[g])
+        gate = self.circuit.gates[gate_index]
+        control = gate.gate_type.controlling_value
+        non_controlling = 1 - control if control is not None else 1
+        for net_id in gate.inputs:
+            if state.values[net_id] == X:
+                return (net_id, non_controlling)
+        return None  # no X input left: implication will resolve or conflict
+
+    def _backtrace(
+        self, objective: Tuple[int, int], values: List[int]
+    ) -> Tuple[Optional[int], int]:
+        """Map an objective to an unassigned input assignment."""
+        circuit = self.circuit
+        net_id, value = objective
+        guard = 0
+        while net_id not in self._input_set:
+            guard += 1
+            if guard > circuit.net_count:
+                return None, 0  # defensive: malformed structure
+            gate = circuit.gates[circuit.driver_gate[net_id]]
+            value = value ^ gate.gate_type.inverting
+            chosen = None
+            for candidate in gate.inputs:
+                if values[candidate] == X:
+                    chosen = candidate
+                    break
+            if chosen is None:
+                return None, 0
+            net_id = chosen
+            if gate.gate_type in (GateType.XOR, GateType.XNOR):
+                # Parity gates: aim for the target parity assuming other
+                # X inputs settle to 0.
+                known = 0
+                for candidate in gate.inputs:
+                    if candidate != chosen and values[candidate] == ONE:
+                        known ^= 1
+                value = value ^ known
+        if values[net_id] != X:
+            return None, 0
+        return net_id, value
+
+
+def _inject(value: int, stuck_at: int) -> int:
+    """Five-valued result of forcing the faulty machine to ``stuck_at``."""
+    return compose(good_value(value), stuck_at)

@@ -1,0 +1,69 @@
+"""Random-pattern test generation phase.
+
+Deterministic ATPG is expensive, so every practical flow (ATALANTA
+included) first throws cheap random patterns at the fault list,
+keeping the ones that detect something new and dropping the detected
+faults.  The phase stops when a batch's yield falls below a threshold —
+the remaining, random-pattern-resistant faults go to PODEM.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from .compiled import CompiledCircuit
+from .faults import Fault
+from .faultsim import FaultSimulator
+from .patterns import TestPattern, random_pattern
+
+
+@dataclass
+class RandomPhaseResult:
+    patterns: List[TestPattern] = field(default_factory=list)
+    remaining_faults: List[Fault] = field(default_factory=list)
+    detected: int = 0
+    batches: int = 0
+
+
+def run_random_phase(
+    circuit: CompiledCircuit,
+    faults: List[Fault],
+    seed: int = 0,
+    batch_size: int = 64,
+    max_batches: int = 32,
+    min_yield: int = 1,
+) -> RandomPhaseResult:
+    """Generate random patterns until they stop paying for themselves.
+
+    Within each batch, only patterns that are the *first* detector of at
+    least one remaining fault are kept, so the kept set carries no
+    obviously redundant members.
+    """
+    simulator = FaultSimulator(circuit)
+    rng = random.Random(seed)
+    result = RandomPhaseResult(remaining_faults=list(faults))
+    while result.remaining_faults and result.batches < max_batches:
+        batch = [random_pattern(circuit.input_ids, rng) for _ in range(batch_size)]
+        trits = [p.as_trits(circuit.input_ids) for p in batch]
+        good, count = simulator.good_values(trits)
+        first_detector = [False] * count
+        survivors = []
+        detected_here = 0
+        for fault in result.remaining_faults:
+            mask = simulator.detect_mask(good, count, fault)
+            if mask:
+                detected_here += 1
+                first_detector[(mask & -mask).bit_length() - 1] = True
+            else:
+                survivors.append(fault)
+        result.batches += 1
+        result.detected += detected_here
+        result.remaining_faults = survivors
+        result.patterns.extend(
+            pattern for keep, pattern in zip(first_detector, batch) if keep
+        )
+        if detected_here < min_yield:
+            break
+    return result

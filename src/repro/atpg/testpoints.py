@@ -1,0 +1,204 @@
+"""Test-point insertion for random-pattern testability.
+
+BIST's pseudo-random patterns miss faults behind poorly controllable or
+observable logic (:mod:`repro.circuit.scoap` quantifies where).  The
+standard fix inserts *test points*:
+
+* an **observation point** taps a hard-to-observe net to a new
+  pseudo-output (a capture-only scan cell);
+* a **control point** ORs (to force 1) or ANDs-with-NOT (to force 0) a
+  dedicated scan-driven input into a hard-to-control net.
+
+Both add scan cells — i.e. test data volume — so the coverage-vs-TDV
+trade lands right back in the paper's accounting; the extension
+experiment measures both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from ..circuit.scoap import INFINITY, scoap_measures
+
+
+@dataclass(frozen=True)
+class TestPoint:
+    """One inserted test point."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    kind: str  # "observe", "control-1" or "control-0"
+    net: str  # the net it improves
+
+
+@dataclass
+class TestPointPlan:
+    """Selected test points plus the instrumented netlist."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    original_name: str
+    points: List[TestPoint] = field(default_factory=list)
+
+    @property
+    def observe_count(self) -> int:
+        return sum(1 for p in self.points if p.kind == "observe")
+
+    @property
+    def control_count(self) -> int:
+        return sum(1 for p in self.points if p.kind.startswith("control"))
+
+    def added_scan_cells(self) -> int:
+        """Every point costs one scan cell (capture or drive)."""
+        return len(self.points)
+
+
+def select_test_points(
+    netlist: Netlist,
+    budget: int,
+    observe_threshold: int = 20,
+    control_threshold: int = 20,
+) -> TestPointPlan:
+    """Pick up to ``budget`` test points by SCOAP cost, worst first.
+
+    Observation points go on gate-output nets with the highest CO;
+    control points on nets whose worse controllability side exceeds the
+    threshold (forcing the expensive value).  Primary outputs and
+    (pseudo-)inputs are never instrumented — they are already
+    accessible.
+    """
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+    measures = scoap_measures(netlist)
+    accessible = set(netlist.combinational_inputs()) | set(
+        netlist.combinational_outputs()
+    )
+    candidates: List[Tuple[int, TestPoint]] = []
+    for net, measure in measures.items():
+        if net in accessible or netlist.gate_driving(net) is None:
+            continue
+        if measure.co >= observe_threshold:
+            candidates.append(
+                (min(measure.co, INFINITY), TestPoint("observe", net))
+            )
+        if measure.cc1 >= control_threshold and measure.cc1 >= measure.cc0:
+            candidates.append((measure.cc1, TestPoint("control-1", net)))
+        elif measure.cc0 >= control_threshold:
+            candidates.append((measure.cc0, TestPoint("control-0", net)))
+    candidates.sort(key=lambda item: (-item[0], item[1].net, item[1].kind))
+    plan = TestPointPlan(original_name=netlist.name)
+    seen = set()
+    for _cost, point in candidates:
+        if len(plan.points) >= budget:
+            break
+        if (point.net, point.kind) in seen:
+            continue
+        seen.add((point.net, point.kind))
+        plan.points.append(point)
+    return plan
+
+
+def insert_test_points(netlist: Netlist, plan: TestPointPlan) -> Netlist:
+    """Build the instrumented netlist.
+
+    Control points rewrite the fanout of the target net: loads read the
+    gated version (``OR(net, cp)`` or ``AND(net, NOT(cp))``) driven by a
+    new flip-flop ``cp`` (scan-controllable, functionally neutral when
+    the cell holds the inactive value).  Observation points add a new
+    flip-flop capturing the net.
+    """
+    control_of: Dict[str, str] = {}
+    instrumented = Netlist(f"{netlist.name}_tp")
+    for net in netlist.inputs:
+        instrumented.add_input(net)
+
+    # New control flip-flops (their D inputs are tied back to themselves
+    # through a buffer: pure test cells with no mission next-state).
+    for index, point in enumerate(plan.points):
+        if not point.kind.startswith("control"):
+            continue
+        cp = f"tp_ctl{index}"
+        instrumented.add_flip_flop(cp, f"{cp}_hold")
+        gated = f"tp_gated{index}"
+        control_of[point.net] = gated
+        if point.kind == "control-1":
+            instrumented.add_gate(GateType.OR, gated, [point.net, cp])
+        else:
+            inverted = f"tp_ctln{index}"
+            instrumented.add_gate(GateType.NOT, inverted, [cp])
+            instrumented.add_gate(GateType.AND, gated, [point.net, inverted])
+        instrumented.add_gate(GateType.BUF, f"{cp}_hold", [cp])
+
+    def read(net: str) -> str:
+        return control_of.get(net, net)
+
+    for ff in netlist.flip_flops:
+        instrumented.add_flip_flop(ff.output, f"{ff.output}_tp_d")
+    for gate in netlist.topological_order():
+        instrumented.add_gate(
+            gate.gate_type, gate.output, [read(net) for net in gate.inputs]
+        )
+    for ff in netlist.flip_flops:
+        instrumented.add_gate(GateType.BUF, f"{ff.output}_tp_d", [read(ff.data)])
+    for net in netlist.outputs:
+        instrumented.mark_output(net)
+
+    for index, point in enumerate(plan.points):
+        if point.kind != "observe":
+            continue
+        op = f"tp_obs{index}"
+        instrumented.add_flip_flop(op, f"{op}_d")
+        instrumented.add_gate(GateType.BUF, f"{op}_d", [read(point.net)])
+
+    instrumented.validate()
+    return instrumented
+
+
+def map_faults_to_instrumented(
+    original: Netlist, instrumented: Netlist
+) -> Tuple[List, List]:
+    """The original circuit's collapsed faults, in both id spaces.
+
+    Coverage before/after test-point insertion is only comparable over
+    the *same* logical fault list; the instrumented netlist adds gates
+    (and hence faults) of its own.  Returns ``(original_faults,
+    instrumented_faults)`` aligned index by index: stem faults map by
+    net name, branch faults by (driving-gate output name, pin) — pins
+    rewired to a gated net carry the fault on the new feeding net,
+    which is the same physical gate input.
+    """
+    from .compiled import CompiledCircuit
+    from .faults import Fault, collapse_faults
+
+    source = CompiledCircuit(original)
+    target = CompiledCircuit(instrumented)
+    originals = collapse_faults(source)
+    mapped = []
+    for fault in originals:
+        if fault.is_branch:
+            out_name = source.net_names[source.gates[fault.gate_index].output]
+            gate_index = target.driver_gate[target.net_ids[out_name]]
+            net_id = target.gates[gate_index].inputs[fault.pin]
+            mapped.append(Fault(net_id, fault.stuck_at, gate_index, fault.pin))
+        else:
+            mapped.append(Fault(target.net_ids[source.net_names[fault.net]],
+                                fault.stuck_at))
+    return originals, mapped
+
+
+def apply_test_points(
+    netlist: Netlist,
+    budget: int,
+    observe_threshold: int = 20,
+    control_threshold: int = 20,
+) -> Tuple[TestPointPlan, Netlist]:
+    """Select and insert in one step."""
+    plan = select_test_points(
+        netlist, budget,
+        observe_threshold=observe_threshold,
+        control_threshold=control_threshold,
+    )
+    return plan, insert_test_points(netlist, plan)

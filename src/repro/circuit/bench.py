@@ -1,0 +1,116 @@
+"""Reader/writer for the ISCAS'89 ``.bench`` netlist format.
+
+The format (Brglez, Bryan & Kozminski, ISCAS 1989) is line-oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G10 = NAND(G0, G5)
+    G17 = NOT(G10)
+
+Gate names follow :mod:`repro.circuit.gates` (with the ``BUFF`` alias).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from .gates import gate_type_from_name
+from .netlist import Netlist, NetlistError
+
+
+class BenchFormatError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(r"^([^\s=]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a validated :class:`Netlist`."""
+    netlist = Netlist(name)
+    pending_outputs: List[Tuple[str, int]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, net = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                try:
+                    netlist.add_input(net)
+                except NetlistError as exc:
+                    raise BenchFormatError(str(exc), line_number) from None
+            else:
+                pending_outputs.append((net, line_number))
+            continue
+        assign_match = _ASSIGN_RE.match(line)
+        if assign_match:
+            output, func, args = assign_match.groups()
+            operands = [token.strip() for token in args.split(",") if token.strip()]
+            try:
+                if func.upper() == "DFF":
+                    if len(operands) != 1:
+                        raise BenchFormatError(
+                            f"DFF {output!r} takes exactly one input", line_number
+                        )
+                    netlist.add_flip_flop(output, operands[0])
+                else:
+                    gate_type = gate_type_from_name(func)
+                    netlist.add_gate(gate_type, output, operands)
+            except BenchFormatError:
+                raise
+            except (NetlistError, ValueError) as exc:
+                raise BenchFormatError(str(exc), line_number) from None
+            continue
+        raise BenchFormatError(f"unparseable line: {line!r}", line_number)
+    for net, line_number in pending_outputs:
+        try:
+            netlist.mark_output(net)
+        except NetlistError as exc:
+            raise BenchFormatError(str(exc), line_number) from None
+    try:
+        netlist.validate()
+    except NetlistError as exc:
+        raise BenchFormatError(str(exc)) from None
+    return netlist
+
+
+def dump_bench(netlist: Netlist, header_comment: Optional[str] = None) -> str:
+    """Serialize a netlist to ``.bench`` text (round-trips with the parser)."""
+    lines: List[str] = []
+    if header_comment:
+        lines.extend(f"# {line}" for line in header_comment.splitlines())
+    lines.extend(f"INPUT({net})" for net in netlist.inputs)
+    lines.extend(f"OUTPUT({net})" for net in netlist.outputs)
+    lines.extend(f"{ff.output} = DFF({ff.data})" for ff in netlist.flip_flops)
+    for gate in netlist.gates:
+        operands = ", ".join(gate.inputs)
+        bench_name = "BUFF" if gate.gate_type.value == "BUF" else gate.gate_type.value
+        lines.append(f"{gate.output} = {bench_name}({operands})")
+    return "\n".join(lines) + "\n"
+
+
+def load_bench_file(path: Union[str, Path], name: Optional[str] = None) -> Netlist:
+    """Parse a ``.bench`` file; the netlist name defaults to the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=name or path.stem)
+
+
+def save_bench_file(
+    path: Union[str, Path],
+    netlist: Netlist,
+    header_comment: Optional[str] = None,
+) -> None:
+    Path(path).write_text(dump_bench(netlist, header_comment=header_comment))

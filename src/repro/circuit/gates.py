@@ -1,0 +1,113 @@
+"""Gate primitives and three-valued logic evaluation.
+
+The netlist model supports the ISCAS'89 ``.bench`` primitive set: AND,
+NAND, OR, NOR, XOR, XNOR, NOT, BUF, plus D flip-flops handled at the
+netlist level.  Logic evaluation here is three-valued (0, 1, X) over
+Python's ``None``-as-X convention; the ATPG's five-valued D-algebra
+builds on it in :mod:`repro.atpg.values`, and the bit-parallel
+simulators in :mod:`repro.atpg.logicsim` implement the same semantics
+on packed machine words.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+
+class GateType(enum.Enum):
+    """Combinational gate primitives of the ``.bench`` format."""
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+
+    @property
+    def min_inputs(self) -> int:
+        return 1 if self in (GateType.NOT, GateType.BUF) else 2
+
+    @property
+    def max_inputs(self) -> Optional[int]:
+        return 1 if self in (GateType.NOT, GateType.BUF) else None
+
+    @property
+    def inverting(self) -> bool:
+        """Whether the gate's output is the complement of its base function."""
+        return self in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT)
+
+    @property
+    def controlling_value(self) -> Optional[int]:
+        """The input value that determines the output regardless of others.
+
+        0 for AND/NAND, 1 for OR/NOR; None for XOR/XNOR/NOT/BUF, which
+        have no controlling value — a fact PODEM's backtrace relies on.
+        """
+        if self in (GateType.AND, GateType.NAND):
+            return 0
+        if self in (GateType.OR, GateType.NOR):
+            return 1
+        return None
+
+
+_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+}
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Resolve a ``.bench`` primitive name (case-insensitive, with aliases)."""
+    upper = name.upper()
+    if upper in _ALIASES:
+        return _ALIASES[upper]
+    try:
+        return GateType[upper]
+    except KeyError:
+        raise ValueError(f"unknown gate type {name!r}") from None
+
+
+Trit = Optional[int]  # 0, 1, or None for X
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[Trit]) -> Trit:
+    """Three-valued evaluation of one gate.
+
+    Controlling values win over X: ``AND(0, X) == 0`` but
+    ``AND(1, X)`` is X.  XOR of anything with X is X.
+    """
+    if gate_type is GateType.BUF:
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        return _not3(inputs[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        value = _fold(inputs, controlling=0, identity=1)
+        return _not3(value) if gate_type is GateType.NAND else value
+    if gate_type in (GateType.OR, GateType.NOR):
+        value = _fold(inputs, controlling=1, identity=0)
+        return _not3(value) if gate_type is GateType.NOR else value
+    # XOR / XNOR: any X makes the output X.
+    if any(value is None for value in inputs):
+        return None
+    parity = 0
+    for value in inputs:
+        parity ^= value
+    return parity if gate_type is GateType.XOR else 1 - parity
+
+
+def _not3(value: Trit) -> Trit:
+    return None if value is None else 1 - value
+
+
+def _fold(inputs: Sequence[Trit], controlling: int, identity: int) -> Trit:
+    saw_x = False
+    for value in inputs:
+        if value == controlling:
+            return controlling
+        if value is None:
+            saw_x = True
+    return None if saw_x else identity

@@ -1,0 +1,161 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+Sandia Controllability/Observability Analysis: per net, the classic
+combinational measures
+
+* ``CC0`` / ``CC1`` — the cost of setting the net to 0 / 1 (in
+  "number of net assignments", inputs cost 1);
+* ``CO`` — the cost of propagating the net's value to an output.
+
+Computed over the full-scan combinational view (flip-flop outputs are
+free pseudo-inputs, D nets are observable pseudo-outputs), so the
+measures explain *random-pattern resistance*: a net with huge CC1 or CO
+is exactly what the BIST session misses and what test-point insertion
+(:mod:`repro.atpg.testpoints`) targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .gates import GateType
+from .netlist import Netlist
+
+#: Cost representing "unreachable" (kept finite to keep sums meaningful).
+INFINITY = 10**9
+
+
+@dataclass(frozen=True)
+class NetTestability:
+    """SCOAP triple for one net."""
+
+    cc0: int
+    cc1: int
+    co: int
+
+    @property
+    def detect_cost_sa0(self) -> int:
+        """Cost proxy for detecting stuck-at-0: set to 1 and observe."""
+        return min(INFINITY, self.cc1 + self.co)
+
+    @property
+    def detect_cost_sa1(self) -> int:
+        return min(INFINITY, self.cc0 + self.co)
+
+
+def _controllability(netlist: Netlist) -> Dict[str, Tuple[int, int]]:
+    cc: Dict[str, Tuple[int, int]] = {}
+    for net in netlist.combinational_inputs():
+        cc[net] = (1, 1)
+    for gate in netlist.topological_order():
+        inputs = [cc[name] for name in gate.inputs]
+        cc[gate.output] = _gate_controllability(gate.gate_type, inputs)
+    return cc
+
+
+def _gate_controllability(
+    gate_type: GateType, inputs: List[Tuple[int, int]]
+) -> Tuple[int, int]:
+    zeros = [pair[0] for pair in inputs]
+    ones = [pair[1] for pair in inputs]
+    if gate_type is GateType.BUF:
+        return (zeros[0] + 1, ones[0] + 1)
+    if gate_type is GateType.NOT:
+        return (ones[0] + 1, zeros[0] + 1)
+    if gate_type in (GateType.AND, GateType.NAND):
+        # Output 1 needs all inputs 1; output 0 needs the cheapest 0.
+        base = (min(zeros) + 1, sum(ones) + 1)
+    elif gate_type in (GateType.OR, GateType.NOR):
+        base = (sum(zeros) + 1, min(ones) + 1)
+    else:  # XOR / XNOR: parity — enumerate even/odd-ones combinations.
+        base = _xor_controllability(inputs)
+    if gate_type.inverting:
+        return (base[1], base[0])
+    return base
+
+
+def _xor_controllability(inputs: List[Tuple[int, int]]) -> Tuple[int, int]:
+    """Dynamic programming over the parity of ones among the inputs."""
+    even, odd = 0, INFINITY  # cost of parity-0 / parity-1 so far
+    for cc0, cc1 in inputs:
+        even, odd = (
+            min(even + cc0, odd + cc1),
+            min(even + cc1, odd + cc0),
+        )
+        even, odd = min(even, INFINITY), min(odd, INFINITY)
+    return (even + 1, odd + 1)
+
+
+def _observability(
+    netlist: Netlist, cc: Dict[str, Tuple[int, int]]
+) -> Dict[str, int]:
+    co: Dict[str, int] = {net: INFINITY for net in netlist.nets}
+    for net in netlist.combinational_outputs():
+        co[net] = 0
+    for gate in reversed(netlist.topological_order()):
+        out_co = co.get(gate.output, INFINITY)
+        if out_co >= INFINITY:
+            continue
+        for pin, net in enumerate(gate.inputs):
+            cost = out_co + 1 + _side_input_cost(gate, pin, cc)
+            if cost < co.get(net, INFINITY):
+                co[net] = min(cost, INFINITY)
+    return co
+
+
+def _side_input_cost(gate, pin: int, cc: Dict[str, Tuple[int, int]]) -> int:
+    """Cost of setting the other inputs so ``pin`` propagates."""
+    total = 0
+    control = gate.gate_type.controlling_value
+    for other_pin, net in enumerate(gate.inputs):
+        if other_pin == pin:
+            continue
+        cc0, cc1 = cc[net]
+        if control is None:
+            # XOR-family: side inputs just need *known* values; the
+            # cheaper polarity suffices for sensitization.
+            total += min(cc0, cc1)
+        else:
+            # AND/OR-family: side inputs must hold the non-controlling value.
+            total += cc1 if control == 0 else cc0
+    return min(total, INFINITY)
+
+
+def scoap_measures(netlist: Netlist) -> Dict[str, NetTestability]:
+    """CC0/CC1/CO for every net of the full-scan combinational view."""
+    netlist.validate()
+    cc = _controllability(netlist)
+    co = _observability(netlist, cc)
+    return {
+        net: NetTestability(cc0=cc[net][0], cc1=cc[net][1], co=co[net])
+        for net in cc
+    }
+
+
+def hardest_nets(
+    netlist: Netlist, count: int = 10
+) -> List[Tuple[str, NetTestability]]:
+    """Nets ranked by worst stuck-at detection cost, hardest first."""
+    measures = scoap_measures(netlist)
+    ranked = sorted(
+        measures.items(),
+        key=lambda item: (
+            -max(item[1].detect_cost_sa0, item[1].detect_cost_sa1),
+            item[0],
+        ),
+    )
+    return ranked[:count]
+
+
+def testability_summary(netlist: Netlist) -> Dict[str, float]:
+    """Aggregate view: mean/max detection costs over all nets."""
+    measures = scoap_measures(netlist)
+    costs = [
+        max(m.detect_cost_sa0, m.detect_cost_sa1) for m in measures.values()
+    ]
+    return {
+        "nets": float(len(costs)),
+        "mean_detect_cost": sum(costs) / len(costs),
+        "max_detect_cost": float(max(costs)),
+    }

@@ -1,0 +1,77 @@
+"""Cycle-accurate sequential simulation.
+
+Everything else in the package works on the full-scan *combinational
+view*; this module simulates a netlist through real clock cycles —
+evaluate the combinational logic, then update every flip-flop from its
+D input.  It exists to validate that view: shifting a pattern through a
+gate-level stitched scan chain (:mod:`repro.circuit.scan`) must load
+exactly the state the abstract model assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .gates import Trit
+from .netlist import Netlist
+
+
+@dataclass
+class SequentialTrace:
+    """State and outputs over a simulated clock sequence."""
+
+    states: List[Dict[str, Trit]] = field(default_factory=list)  # per cycle, post-clock
+    outputs: List[Dict[str, Trit]] = field(default_factory=list)  # pre-clock
+
+    @property
+    def cycles(self) -> int:
+        return len(self.states)
+
+    def final_state(self) -> Dict[str, Trit]:
+        if not self.states:
+            raise ValueError("no cycles simulated")
+        return self.states[-1]
+
+
+def simulate_sequence(
+    netlist: Netlist,
+    input_sequence: Sequence[Dict[str, Trit]],
+    initial_state: Optional[Dict[str, Trit]] = None,
+) -> SequentialTrace:
+    """Clock the netlist once per entry of ``input_sequence``.
+
+    Each cycle: apply the cycle's primary-input values together with the
+    current flip-flop state, record the primary outputs, then clock —
+    every flip-flop captures its D net.  Missing inputs/state bits are X
+    and propagate as such.
+    """
+    state: Dict[str, Trit] = {
+        ff.output: None for ff in netlist.flip_flops
+    }
+    if initial_state:
+        unknown = set(initial_state) - set(state)
+        if unknown:
+            raise ValueError(f"unknown flip-flops in initial state: {sorted(unknown)[:5]}")
+        state.update(initial_state)
+
+    trace = SequentialTrace()
+    for cycle_inputs in input_sequence:
+        assignment: Dict[str, Trit] = dict(state)
+        assignment.update(cycle_inputs)
+        values = netlist.evaluate(assignment)
+        trace.outputs.append({net: values[net] for net in netlist.outputs})
+        state = {ff.output: values[ff.data] for ff in netlist.flip_flops}
+        trace.states.append(dict(state))
+    return trace
+
+
+def settle_combinational(
+    netlist: Netlist,
+    inputs: Dict[str, Trit],
+    state: Dict[str, Trit],
+) -> Dict[str, Trit]:
+    """One combinational evaluation at a given state (no clock)."""
+    assignment = dict(state)
+    assignment.update(inputs)
+    return netlist.evaluate(assignment)

@@ -1,0 +1,168 @@
+"""Structural Verilog reader/writer (gate-primitive subset).
+
+Interop with standard flows: one module per file, built from Verilog
+gate primitives (``and``, ``nand``, ``or``, ``nor``, ``xor``, ``xnor``,
+``not``, ``buf``) plus a positional ``dff`` cell (``dff d0 (Q, D);``).
+The subset maps one-to-one onto :class:`~repro.circuit.netlist.Netlist`
+and round-trips losslessly with the ``.bench`` format.
+
+Grammar accepted::
+
+    module NAME (port, port, ...);
+      input a, b;
+      output z;
+      wire t1, t2;
+      nand g1 (t1, a, b);   // output first, like Verilog primitives
+      dff  d0 (q, t1);
+    endmodule
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .gates import gate_type_from_name
+from .netlist import Netlist, NetlistError
+
+_PRIMITIVES = {"and", "nand", "or", "nor", "xor", "xnor", "not", "buf"}
+
+
+class VerilogFormatError(ValueError):
+    """Raised on unsupported or malformed structural Verilog."""
+
+
+_MODULE_RE = re.compile(
+    r"module\s+([A-Za-z_][\w$]*)\s*\((.*?)\)\s*;", re.DOTALL
+)
+_STATEMENT_RE = re.compile(r"([^;]*);")
+_INSTANCE_RE = re.compile(
+    r"^([a-z][a-z0-9]*)\s+([A-Za-z_][\w$]*)\s*\(\s*(.*?)\s*\)$", re.DOTALL
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def parse_verilog(text: str, name: Optional[str] = None) -> Netlist:
+    """Parse one structural module into a validated netlist."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogFormatError("no module declaration found")
+    module_name, _ports = module.groups()
+    if "endmodule" not in text:
+        raise VerilogFormatError("missing endmodule")
+    body = text[module.end():text.index("endmodule")]
+
+    netlist = Netlist(name or module_name)
+    outputs: List[str] = []
+    for statement in (m.group(1).strip() for m in _STATEMENT_RE.finditer(body)):
+        if not statement:
+            continue
+        keyword, _, rest = statement.partition(" ")
+        if keyword == "input":
+            for net in _split_nets(rest):
+                try:
+                    netlist.add_input(net)
+                except NetlistError as exc:
+                    raise VerilogFormatError(str(exc)) from None
+        elif keyword == "output":
+            outputs.extend(_split_nets(rest))
+        elif keyword == "wire":
+            continue  # declarations carry no structure here
+        else:
+            _parse_instance(netlist, statement)
+    for net in outputs:
+        try:
+            netlist.mark_output(net)
+        except NetlistError as exc:
+            raise VerilogFormatError(str(exc)) from None
+    try:
+        netlist.validate()
+    except NetlistError as exc:
+        raise VerilogFormatError(str(exc)) from None
+    return netlist
+
+
+def _split_nets(declaration: str) -> List[str]:
+    nets = [net.strip() for net in declaration.split(",")]
+    for net in nets:
+        if not re.fullmatch(r"[A-Za-z_][\w$]*", net):
+            raise VerilogFormatError(f"unsupported net declaration {net!r}")
+    return nets
+
+
+def _parse_instance(netlist: Netlist, statement: str) -> None:
+    match = _INSTANCE_RE.match(statement)
+    if match is None:
+        raise VerilogFormatError(f"unparseable statement: {statement!r}")
+    cell, _instance_name, ports = match.groups()
+    nets = [net.strip() for net in ports.split(",")]
+    if len(nets) < 2:
+        raise VerilogFormatError(f"instance needs >= 2 ports: {statement!r}")
+    output, inputs = nets[0], nets[1:]
+    try:
+        if cell == "dff":
+            if len(inputs) != 1:
+                raise VerilogFormatError(
+                    f"dff takes exactly (Q, D): {statement!r}"
+                )
+            netlist.add_flip_flop(output, inputs[0])
+        elif cell in _PRIMITIVES:
+            netlist.add_gate(gate_type_from_name(cell), output, inputs)
+        else:
+            raise VerilogFormatError(f"unsupported cell {cell!r}")
+    except NetlistError as exc:
+        raise VerilogFormatError(str(exc)) from None
+
+
+def dump_verilog(netlist: Netlist, header_comment: Optional[str] = None) -> str:
+    """Serialize a netlist as one structural Verilog module."""
+    safe = _sanitize(netlist.name)
+    lines: List[str] = []
+    if header_comment:
+        lines.extend(f"// {line}" for line in header_comment.splitlines())
+    ports = netlist.inputs + netlist.outputs
+    lines.append(f"module {safe} ({', '.join(ports)});")
+    if netlist.inputs:
+        lines.append(f"  input {', '.join(netlist.inputs)};")
+    if netlist.outputs:
+        lines.append(f"  output {', '.join(netlist.outputs)};")
+    internal = [
+        net for net in netlist.nets
+        if net not in set(netlist.inputs) | set(netlist.outputs)
+    ]
+    if internal:
+        lines.append(f"  wire {', '.join(internal)};")
+    for index, ff in enumerate(netlist.flip_flops):
+        lines.append(f"  dff d{index} ({ff.output}, {ff.data});")
+    for index, gate in enumerate(netlist.gates):
+        cell = gate.gate_type.value.lower()
+        operands = ", ".join((gate.output,) + gate.inputs)
+        lines.append(f"  {cell} g{index} ({operands});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    safe = re.sub(r"[^\w$]", "_", name)
+    if not re.match(r"[A-Za-z_]", safe):
+        safe = f"m_{safe}"
+    return safe
+
+
+def load_verilog_file(path: Union[str, Path], name: Optional[str] = None) -> Netlist:
+    path = Path(path)
+    return parse_verilog(path.read_text(), name=name or path.stem)
+
+
+def save_verilog_file(
+    path: Union[str, Path],
+    netlist: Netlist,
+    header_comment: Optional[str] = None,
+) -> None:
+    Path(path).write_text(dump_verilog(netlist, header_comment=header_comment))

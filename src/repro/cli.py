@@ -1,0 +1,199 @@
+"""The ``repro`` command-line tool.
+
+Subcommands::
+
+    repro tdv <design.soc>            TDV analysis of an SOC description
+    repro atpg <design.bench>         run the ATPG flow on a netlist
+    repro vectors <design.bench>      ATPG + scan-vector export
+    repro itc02 [name]                list / inspect the benchmark SOCs
+    repro experiments <name>          regenerate a paper table/figure
+    repro figures <dir>               write the SVG figures
+
+Everything prints plain text; exit status is non-zero on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .atpg import dump_vectors, export_program, generate_tests
+from .circuit import load_bench_file, load_verilog_file, netlist_stats
+from .core import decompose, soc_table, summarize
+from .experiments.runner import EXPERIMENTS, run_experiment
+from .itc02 import benchmark_names, load
+from .itc02.stats import explain_outcome, suite_report
+from .soc.diagram import hierarchy_summary, hierarchy_tree
+
+
+def _load_soc(path: str):
+    """Load an SOC description: the package .soc dialect, or — when the
+    file carries a native ITC'02 ``SocName`` header — that format."""
+    text = Path(path).read_text()
+    if "SocName" in text.split("\n", 5)[0] or "SocName" in text[:400]:
+        from .itc02 import native_to_soc
+
+        return native_to_soc(text)
+    from .itc02 import parse_soc
+
+    return parse_soc(text).soc
+
+
+def _cmd_tdv(args: argparse.Namespace) -> int:
+    soc = _load_soc(args.design)
+    if args.json:
+        from .core.serialization import analysis_report, dumps
+
+        print(dumps(analysis_report(soc, monolithic_patterns=args.mono_patterns)))
+        return 0
+    print(hierarchy_summary(soc))
+    print()
+    print(soc_table(soc, actual_monolithic_patterns=args.mono_patterns))
+    summary = summarize(soc, monolithic_patterns=args.mono_patterns)
+    print(f"\nTDV monolithic: {summary.tdv_monolithic:,} bits "
+          f"(T_mono = {summary.monolithic_patterns})")
+    print(f"TDV modular:    {summary.tdv_modular:,} bits "
+          f"({100 * summary.modular_change_fraction:+.1f}%)")
+    decomposition = decompose(soc, monolithic_patterns=args.mono_patterns)
+    print(f"penalty {decomposition.penalty:,} / benefit "
+          f"{decomposition.benefit_identity:,} "
+          f"(chip-I/O residual {decomposition.residual:,})")
+    return 0
+
+
+def _load_netlist(path: str):
+    """Load a netlist by extension: .v is Verilog, anything else .bench."""
+    if path.endswith(".v") or path.endswith(".sv"):
+        return load_verilog_file(path)
+    return load_bench_file(path)
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args.design)
+    print(f"{netlist.name}: {netlist_stats(netlist)}")
+    result = generate_tests(netlist, seed=args.seed)
+    print(f"patterns: {result.pattern_count} "
+          f"(random {result.random_pattern_count}, deterministic "
+          f"{result.deterministic_pattern_count} from "
+          f"{result.pre_compaction_count} pre-compaction)")
+    print(f"fault coverage: {100 * result.fault_coverage:.2f}% "
+          f"({result.detected_count}/{result.fault_count} collapsed faults, "
+          f"{len(result.untestable)} untestable, {len(result.aborted)} aborted)")
+    return 0
+
+
+def _cmd_vectors(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args.design)
+    result = generate_tests(netlist, seed=args.seed)
+    program = export_program(netlist, result, chain_count=args.chains)
+    text = dump_vectors(program)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {program.pattern_count} patterns "
+              f"({program.total_bits():,} bits) to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_itc02(args: argparse.Namespace) -> int:
+    if args.name is None:
+        print(suite_report())
+        return 0
+    if args.name not in benchmark_names():
+        print(f"unknown benchmark {args.name!r}; known: "
+              f"{', '.join(benchmark_names())}", file=sys.stderr)
+        return 2
+    soc = load(args.name)
+    print(hierarchy_tree(soc))
+    print()
+    print(explain_outcome(soc))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    names = EXPERIMENTS if args.name == "all" else (args.name,)
+    seen = set()
+    for name in names:
+        key = "itc02" if name in ("table3", "table4") else name
+        if key in seen:
+            continue
+        seen.add(key)
+        run_experiment(name, seed=args.seed)
+        print()
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments.figures import generate_figures
+
+    written = generate_figures(args.out_dir)
+    for name, path in written.items():
+        print(f"wrote {name}: {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Modular SOC testing TDV analysis (DATE 2008 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tdv = subparsers.add_parser("tdv", help="TDV analysis of a .soc file")
+    tdv.add_argument("design", help="path to a .soc SOC description")
+    tdv.add_argument("--mono-patterns", type=int, default=None,
+                     help="measured monolithic pattern count (default: Eq. 2 bound)")
+    tdv.add_argument("--json", action="store_true",
+                     help="emit the full analysis as JSON instead of tables")
+    tdv.set_defaults(func=_cmd_tdv)
+
+    atpg = subparsers.add_parser("atpg", help="run ATPG on a .bench netlist")
+    atpg.add_argument("design", help="path to a .bench netlist")
+    atpg.add_argument("--seed", type=int, default=0)
+    atpg.set_defaults(func=_cmd_atpg)
+
+    vectors = subparsers.add_parser(
+        "vectors", help="ATPG plus scan-vector export for a .bench netlist"
+    )
+    vectors.add_argument("design")
+    vectors.add_argument("--seed", type=int, default=0)
+    vectors.add_argument("--chains", type=int, default=1)
+    vectors.add_argument("-o", "--output", default=None)
+    vectors.set_defaults(func=_cmd_vectors)
+
+    itc02 = subparsers.add_parser("itc02", help="inspect the ITC'02 benchmarks")
+    itc02.add_argument("name", nargs="?", default=None,
+                       help="SOC name; omit for the suite overview")
+    itc02.set_defaults(func=_cmd_itc02)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate a paper table/figure"
+    )
+    experiments.add_argument("name", choices=EXPERIMENTS + ("all",))
+    experiments.add_argument("--seed", type=int, default=3)
+    experiments.set_defaults(func=_cmd_experiments)
+
+    figures = subparsers.add_parser(
+        "figures", help="write the reproduction's SVG figures"
+    )
+    figures.add_argument("out_dir", nargs="?", default="figures")
+    figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into head/less and closed early — not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Plain-text table rendering in the layouts of the paper's Tables 1–4."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..soc.hierarchy import core_tdv
+from ..soc.model import Soc
+from .analysis import SocAnalysis, analyze
+from .tdv import (
+    monolithic_pattern_lower_bound,
+    tdv_modular,
+    tdv_monolithic,
+    tdv_monolithic_optimistic,
+)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    ``aligns`` is one of ``"l"``/``"r"`` per column; numeric-looking
+    columns default to right alignment.
+    """
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (len(headers) - 1)
+    lines = [
+        "  ".join(_pad(header, widths[i], "l") for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(_pad(cell, widths[i], aligns[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def _pad(text: str, width: int, align: str) -> str:
+    return text.rjust(width) if align == "r" else text.ljust(width)
+
+
+def percent(fraction: float, signed: bool = True) -> str:
+    """Format a fraction as a Table-4-style percentage string."""
+    value = 100.0 * fraction
+    return f"{value:+.1f}%" if signed else f"{value:.1f}%"
+
+
+def soc_table(
+    soc: Soc,
+    actual_monolithic_patterns: Optional[int] = None,
+) -> str:
+    """Render a Table-1/2-style per-core TDV comparison for one SOC.
+
+    One row per core (I, O, S, T, TDV), an SOC total, and — when the
+    measured flattened-ATPG pattern count is supplied — "Mono" and
+    "Mono opt" rows plus the penalty/benefit footer of Tables 1–2.
+    """
+    rows: List[List[object]] = []
+    for core in soc:
+        rows.append(
+            [core.name, core.inputs, core.outputs, core.scan_cells, core.patterns,
+             core_tdv(soc, core.name)]
+        )
+    rows.append(["SOC", "", "", "", "", tdv_modular(soc)])
+    top = soc.top
+    bound = monolithic_pattern_lower_bound(soc)
+    if actual_monolithic_patterns is not None:
+        rows.append(
+            ["Mono", top.inputs, top.outputs, soc.total_scan_cells,
+             actual_monolithic_patterns,
+             tdv_monolithic(soc, actual_monolithic_patterns)]
+        )
+    rows.append(
+        ["Mono opt", top.inputs, top.outputs, soc.total_scan_cells, bound,
+         tdv_monolithic_optimistic(soc)]
+    )
+    return format_table(["Core", "I", "O", "S", "T", "TDV"], rows)
+
+
+def hierarchy_table(soc: Soc) -> str:
+    """Render a Table-3-style per-core computation for a hierarchical SOC."""
+    rows = []
+    for core in soc:
+        embeds = ",".join(core.children) if core.children else "-"
+        rows.append(
+            [core.name, embeds, core.inputs, core.outputs, core.bidirs,
+             core.scan_cells, core.patterns, core_tdv(soc, core.name)]
+        )
+    rows.append(["SOC", "", "", "", "", "", "", tdv_modular(soc)])
+    return format_table(
+        ["Core", "Embeds", "I", "O", "B", "S", "T", "TDV"], rows
+    )
+
+
+def comparison_table(socs: Sequence[Soc]) -> str:
+    """Render a Table-4-style cross-SOC comparison."""
+    rows = []
+    for soc in socs:
+        rows.append(_comparison_row(analyze(soc)))
+    return format_table(
+        ["SOC", "Cores", "Norm.STDEV", "TDVopt_mono", "TDVpenalty", "TDVbenefit",
+         "TDVmodular", "Change"],
+        rows,
+    )
+
+
+def _comparison_row(analysis: SocAnalysis) -> List[object]:
+    summary = analysis.summary
+    return [
+        summary.soc_name,
+        summary.core_count - 1,  # Table 4 counts functional cores, not the top
+        round(analysis.pattern_variation, 2),
+        summary.tdv_monolithic,
+        f"{summary.tdv_penalty:,} = {percent(summary.penalty_fraction)}",
+        f"{summary.tdv_benefit:,} = {percent(-summary.benefit_fraction)}",
+        summary.tdv_modular,
+        percent(summary.modular_change_fraction),
+    ]
+
+
+def paper_vs_measured_table(
+    rows: Sequence[Sequence[object]],
+    value_label: str = "Value",
+) -> str:
+    """Render (name, paper value, measured value) triples with % deltas."""
+    table_rows = []
+    for name, paper, measured in rows:
+        if paper:
+            delta = percent((measured - paper) / paper)
+        else:
+            delta = "n/a"
+        table_rows.append([name, paper, measured, delta])
+    return format_table(
+        ["Quantity", f"Paper {value_label}", f"Measured {value_label}", "Delta"],
+        table_rows,
+    )

@@ -1,0 +1,142 @@
+"""JSON serialization of analysis results and SOC descriptions.
+
+Machine-readable output for pipelines: every analysis dataclass gets a
+plain-dict form, SOCs round-trip through JSON, and experiment tables can
+be dumped for external plotting.  The schema is flat and stable — field
+names match the dataclasses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..soc.model import Core, Soc
+from .analysis import SocAnalysis, analyze
+from .decomposition import Decomposition, decompose
+from .tdv import TdvSummary, summarize
+
+SCHEMA_VERSION = 1
+
+
+def soc_to_dict(soc: Soc) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": soc.name,
+        "top": soc.top_name,
+        "cores": [
+            {
+                "name": core.name,
+                "inputs": core.inputs,
+                "outputs": core.outputs,
+                "bidirs": core.bidirs,
+                "scan_cells": core.scan_cells,
+                "patterns": core.patterns,
+                "children": list(core.children),
+            }
+            for core in soc
+        ],
+    }
+
+
+def soc_from_dict(data: Dict[str, Any]) -> Soc:
+    cores = [
+        Core(
+            name=entry["name"],
+            inputs=entry.get("inputs", 0),
+            outputs=entry.get("outputs", 0),
+            bidirs=entry.get("bidirs", 0),
+            scan_cells=entry.get("scan_cells", 0),
+            patterns=entry.get("patterns", 0),
+            children=list(entry.get("children", [])),
+        )
+        for entry in data["cores"]
+    ]
+    return Soc(data["name"], cores, top=data.get("top"))
+
+
+def summary_to_dict(summary: TdvSummary) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "soc": summary.soc_name,
+        "core_count": summary.core_count,
+        "monolithic_patterns": summary.monolithic_patterns,
+        "tdv_monolithic": summary.tdv_monolithic,
+        "tdv_modular": summary.tdv_modular,
+        "tdv_penalty": summary.tdv_penalty,
+        "tdv_benefit": summary.tdv_benefit,
+        "chip_io_residual": summary.chip_io_residual,
+        "modular_change_fraction": summary.modular_change_fraction,
+        "reduction_ratio": summary.reduction_ratio,
+    }
+
+
+def decomposition_to_dict(decomposition: Decomposition) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "soc": decomposition.soc_name,
+        "monolithic_patterns": decomposition.monolithic_patterns,
+        "tdv_monolithic": decomposition.tdv_monolithic,
+        "tdv_modular": decomposition.tdv_modular,
+        "penalty": decomposition.penalty,
+        "benefit_strict": decomposition.benefit_strict,
+        "benefit_identity": decomposition.benefit_identity,
+        "residual": decomposition.residual,
+        "per_core": [
+            {
+                "core": entry.core_name,
+                "patterns": entry.patterns,
+                "scan_cells": entry.scan_cells,
+                "isocost": entry.isocost,
+                "penalty": entry.penalty,
+                "benefit": entry.benefit,
+                "modular_tdv": entry.modular_tdv,
+            }
+            for entry in decomposition.per_core
+        ],
+    }
+
+
+def analysis_report(
+    soc: Soc, monolithic_patterns: Optional[int] = None
+) -> Dict[str, Any]:
+    """The full analysis of one SOC as one JSON-ready dict."""
+    summary = summarize(soc, monolithic_patterns=monolithic_patterns)
+    decomposition = decompose(soc, monolithic_patterns=monolithic_patterns)
+    analysis: SocAnalysis = analyze(soc)
+    return {
+        "schema": SCHEMA_VERSION,
+        "soc": soc_to_dict(soc),
+        "summary": summary_to_dict(summary),
+        "decomposition": decomposition_to_dict(decomposition),
+        "pattern_variation": analysis.pattern_variation,
+    }
+
+
+def table4_report(results: List) -> Dict[str, Any]:
+    """The Table 4 reproduction (list of Table4Result) as a dict."""
+    rows = []
+    for result in results:
+        rows.append({
+            "soc": result.soc.name,
+            "cores": len(result.soc) - 1,
+            "norm_stdev": result.variation,
+            "measured": summary_to_dict(result.summary),
+            "published": {
+                "norm_stdev": result.published.norm_stdev,
+                "tdv_opt_mono": result.published.tdv_opt_mono,
+                "tdv_penalty": result.published.tdv_penalty,
+                "tdv_benefit": result.published.tdv_benefit,
+                "tdv_modular": result.published.tdv_modular,
+                "modular_percent": result.published.modular_percent,
+            },
+        })
+    return {"schema": SCHEMA_VERSION, "table4": rows}
+
+
+def dumps(data: Dict[str, Any], indent: int = 2) -> str:
+    return json.dumps(data, indent=indent, sort_keys=True)
+
+
+def loads_soc(text: str) -> Soc:
+    return soc_from_dict(json.loads(text))

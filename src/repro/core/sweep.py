@@ -1,0 +1,289 @@
+"""Design-space sweeps over the TDV model.
+
+The paper's conclusions generalize beyond its ten benchmark SOCs: the
+modular-testing benefit grows with pattern-count variation and shrinks
+with wrapper overhead.  These sweeps chart that design space with
+synthetic SOC families, which backs the correlation figure and the
+ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..soc.model import Core, Soc
+from .analysis import SocAnalysis, analyze
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One synthetic SOC evaluated at one sweep setting."""
+
+    parameter: float
+    analysis: SocAnalysis
+
+
+def synthetic_soc(
+    name: str,
+    core_count: int,
+    mean_patterns: int,
+    pattern_spread: float,
+    scan_cells_per_core: int = 500,
+    io_per_core: int = 64,
+    chip_io: int = 128,
+    seed: int = 0,
+) -> Soc:
+    """Build a flat synthetic SOC with controlled pattern-count spread.
+
+    Pattern counts are drawn (deterministically, from ``seed``) from a
+    log-uniform-ish family whose normalized stdev grows monotonically
+    with ``pattern_spread`` in [0, ~3].  Spread 0 gives identical counts
+    (the g12710 regime); large spreads give a586710-like skew where one
+    core dominates.
+    """
+    if core_count < 1:
+        raise ValueError("core_count must be >= 1")
+    if mean_patterns < 1:
+        raise ValueError("mean_patterns must be >= 1")
+    if pattern_spread < 0:
+        raise ValueError("pattern_spread must be >= 0")
+    rng = random.Random(seed)
+    cores = [
+        Core(
+            name=f"{name}_top",
+            inputs=chip_io // 2,
+            outputs=chip_io - chip_io // 2,
+            scan_cells=0,
+            patterns=1,
+            children=[f"{name}_core{i}" for i in range(core_count)],
+        )
+    ]
+    for i in range(core_count):
+        factor = rng.lognormvariate(0.0, pattern_spread) if pattern_spread else 1.0
+        patterns = max(1, round(mean_patterns * factor))
+        cores.append(
+            Core(
+                name=f"{name}_core{i}",
+                inputs=io_per_core // 2,
+                outputs=io_per_core - io_per_core // 2,
+                scan_cells=scan_cells_per_core,
+                patterns=patterns,
+            )
+        )
+    return Soc(name, cores, top=cores[0].name)
+
+
+def sweep_pattern_variation(
+    spreads: Sequence[float],
+    core_count: int = 10,
+    mean_patterns: int = 200,
+    scan_cells_per_core: int = 500,
+    io_per_core: int = 64,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """TDV reduction as a function of pattern-count spread.
+
+    Reproduces, on a controlled family, the Table-4 observation that
+    reduction tracks the normalized stdev of pattern counts.
+    """
+    points = []
+    for spread in spreads:
+        soc = synthetic_soc(
+            name=f"sweep_spread_{spread:g}",
+            core_count=core_count,
+            mean_patterns=mean_patterns,
+            pattern_spread=spread,
+            scan_cells_per_core=scan_cells_per_core,
+            io_per_core=io_per_core,
+            seed=seed,
+        )
+        points.append(SweepPoint(parameter=spread, analysis=analyze(soc)))
+    return points
+
+
+def sweep_wrapper_overhead(
+    io_per_core_values: Sequence[int],
+    core_count: int = 10,
+    mean_patterns: int = 200,
+    pattern_spread: float = 1.0,
+    scan_cells_per_core: int = 500,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """TDV reduction as a function of per-core wrapper-cell count.
+
+    Charts the g12710 failure mode: when core I/O terminals rival scan
+    cells, the isolation penalty can overwhelm the benefit.
+    """
+    points = []
+    for io_per_core in io_per_core_values:
+        soc = synthetic_soc(
+            name=f"sweep_io_{io_per_core}",
+            core_count=core_count,
+            mean_patterns=mean_patterns,
+            pattern_spread=pattern_spread,
+            scan_cells_per_core=scan_cells_per_core,
+            io_per_core=io_per_core,
+            seed=seed,
+        )
+        points.append(SweepPoint(parameter=float(io_per_core), analysis=analyze(soc)))
+    return points
+
+
+def sweep_core_count(
+    core_counts: Sequence[int],
+    mean_patterns: int = 200,
+    pattern_spread: float = 1.0,
+    scan_cells_per_core: int = 500,
+    io_per_core: int = 64,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """TDV reduction as a function of partitioning granularity.
+
+    Section 3 notes that treating every cone as a core would minimize
+    waste but is unrealistic due to wrapper overhead; this sweep shows
+    the trade-off as granularity increases with total scan count fixed.
+    """
+    points = []
+    for count in core_counts:
+        if count < 1:
+            raise ValueError("core counts must be >= 1")
+        soc = synthetic_soc(
+            name=f"sweep_cores_{count}",
+            core_count=count,
+            mean_patterns=mean_patterns,
+            pattern_spread=pattern_spread,
+            scan_cells_per_core=max(1, scan_cells_per_core * 10 // count),
+            io_per_core=io_per_core,
+            seed=seed,
+        )
+        points.append(SweepPoint(parameter=float(count), analysis=analyze(soc)))
+    return points
+
+
+def synthetic_hierarchical_soc(
+    name: str,
+    depth: int,
+    fanout: int = 2,
+    scan_cells_per_core: int = 400,
+    io_per_core: int = 48,
+    mean_patterns: int = 200,
+    pattern_spread: float = 1.0,
+    chip_io: int = 128,
+    seed: int = 0,
+) -> Soc:
+    """A complete ``fanout``-ary embedding tree of the given depth.
+
+    Every core (internal and leaf) carries scan and a test; parents pay
+    Eq. 5's child-terminal ExTest surcharge, so ISOCOST grows with
+    fanout — the hierarchy axis of the design space (p34932-style
+    structures, depth 2 in the ITC'02 suite).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    rng = random.Random(seed)
+
+    def patterns() -> int:
+        if pattern_spread == 0:
+            return mean_patterns
+        return max(1, round(mean_patterns * rng.lognormvariate(0.0, pattern_spread)))
+
+    cores: List[Core] = []
+    counter = [0]
+
+    def build(level: int) -> str:
+        counter[0] += 1
+        core_name = f"{name}_n{counter[0]}"
+        children = [build(level + 1) for _ in range(fanout)] if level < depth else []
+        cores.append(
+            Core(
+                name=core_name,
+                inputs=io_per_core // 2,
+                outputs=io_per_core - io_per_core // 2,
+                scan_cells=scan_cells_per_core,
+                patterns=patterns(),
+                children=children,
+            )
+        )
+        return core_name
+
+    roots = [build(1)]
+    cores.append(
+        Core(
+            name=f"{name}_top",
+            inputs=chip_io // 2,
+            outputs=chip_io - chip_io // 2,
+            scan_cells=0,
+            patterns=1,
+            children=roots,
+        )
+    )
+    return Soc(name, list(reversed(cores)), top=f"{name}_top")
+
+
+def sweep_hierarchy_depth(
+    depths: Sequence[int],
+    fanout: int = 2,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """TDV behaviour as the embedding tree deepens at fixed core size.
+
+    Deeper trees mean more hierarchical parents paying child-terminal
+    ExTest costs, raising the penalty share — the hierarchical analogue
+    of the wrapper-overhead sweep.
+    """
+    points = []
+    for depth in depths:
+        soc = synthetic_hierarchical_soc(
+            name=f"hier_d{depth}", depth=depth, fanout=fanout, seed=seed
+        )
+        points.append(SweepPoint(parameter=float(depth), analysis=analyze(soc)))
+    return points
+
+
+def crossover_spread(
+    low: float = 0.0,
+    high: float = 3.0,
+    tolerance: float = 1e-3,
+    soc_factory: Optional[Callable[[float], Soc]] = None,
+) -> float:
+    """Pattern spread at which modular testing breaks even.
+
+    Bisects the spread axis for the point where the modular change
+    fraction crosses zero (penalty == benefit).  Below the returned
+    spread the synthetic family behaves like g12710 (modular loses);
+    above it modular wins.  Raises if the family does not bracket a
+    crossover in [low, high].
+    """
+    if soc_factory is None:
+        def soc_factory(spread: float) -> Soc:
+            return synthetic_soc(
+                name="crossover",
+                core_count=10,
+                mean_patterns=200,
+                pattern_spread=spread,
+                scan_cells_per_core=40,
+                io_per_core=96,
+                seed=7,
+            )
+
+    def change(spread: float) -> float:
+        return analyze(soc_factory(spread)).summary.modular_change_fraction
+
+    lo, hi = low, high
+    f_lo, f_hi = change(lo), change(hi)
+    if f_lo * f_hi > 0:
+        raise ValueError(
+            f"no crossover in [{low}, {high}]: change({low})={f_lo:.4f}, "
+            f"change({high})={f_hi:.4f}"
+        )
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if change(mid) * f_lo > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2

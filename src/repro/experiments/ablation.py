@@ -1,0 +1,173 @@
+"""Ablations for the analysis' scoping assumptions.
+
+The paper makes three deliberate simplifications (Section 3): idle bits
+from scan-chain/TAM organization are excluded, isolation uses dedicated
+cells on every core terminal, and partitioning granularity is taken as
+given.  Each ablation here varies one of them and checks whether the
+headline conclusion — modular testing reduces TDV, increasingly so with
+pattern-count variation — survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.report import format_table
+from ..core.sweep import SweepPoint, sweep_core_count, sweep_wrapper_overhead
+from ..itc02.benchmarks import BENCHMARK_NAMES, load
+from ..soc.model import Soc
+from ..soc.shared_isolation import SharingPoint, breakeven_sharing, sharing_sweep
+from ..tam.idle_bits import IdleBitReport, idle_bit_sweep
+
+
+@dataclass
+class IdleBitAblation:
+    """Useful-bits vs delivered-bits comparison across TAM widths."""
+
+    soc_name: str
+    reports: List[IdleBitReport]
+
+    def conclusion_stable(self) -> bool:
+        """Modular wins (or loses) identically under both accountings."""
+        return all(
+            (report.useful_ratio < 1.0) == (report.delivered_ratio < 1.0)
+            for report in self.reports
+        )
+
+    def render(self) -> str:
+        rows = []
+        for report in self.reports:
+            rows.append([
+                report.tam_width,
+                f"{report.useful_ratio:.3f}",
+                f"{report.delivered_ratio:.3f}",
+                f"{100 * report.modular_idle_fraction:.1f}%",
+                f"{100 * report.monolithic_idle_fraction:.1f}%",
+            ])
+        return format_table(
+            ["TAM width", "mod/mono (useful)", "mod/mono (delivered)",
+             "modular idle", "monolithic idle"],
+            rows,
+        )
+
+
+def idle_bit_ablation(
+    soc_name: str = "d695",
+    tam_widths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> IdleBitAblation:
+    """Put the idle bits back and re-run the comparison."""
+    soc = load(soc_name)
+    return IdleBitAblation(
+        soc_name=soc_name,
+        reports=idle_bit_sweep(soc, list(tam_widths)),
+    )
+
+
+def wrapper_overhead_ablation(
+    io_values: Sequence[int] = (8, 32, 64, 128, 256, 512),
+) -> List[SweepPoint]:
+    """Vary per-core terminal counts: where does g12710's regime begin?
+
+    The paper attributes g12710's TDV *increase* to core I/O terminals
+    outnumbering scan cells; this sweep reproduces the crossover on a
+    controlled family.
+    """
+    return sweep_wrapper_overhead(io_values)
+
+
+def granularity_ablation(
+    core_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+) -> List[SweepPoint]:
+    """Vary partitioning granularity at fixed total scan.
+
+    Section 3: wrapping every cone would minimize topped-off waste but
+    is unrealistic "due to the area and data volume penalty"; the sweep
+    shows the benefit/penalty trade-off as cores shrink.
+    """
+    return sweep_core_count(core_counts)
+
+
+@dataclass
+class SharedIsolationAblation:
+    """The paper's stated pessimism, relaxed: functional-cell isolation."""
+
+    g12710_points: List[SharingPoint]
+    g12710_breakeven: float
+    other_breakevens: Dict[str, object]  # SOC -> None (already winning)
+
+    def render(self) -> str:
+        rows = [
+            [f"{point.sharing:.2f}",
+             f"{100 * point.modular_change_fraction:+.1f}%",
+             point.tdv_penalty]
+            for point in self.g12710_points
+        ]
+        return format_table(
+            ["sharing", "g12710 change", "penalty (bits)"], rows
+        )
+
+
+def shared_isolation_ablation() -> SharedIsolationAblation:
+    """Sweep dedicated-to-shared isolation over the benchmark suite.
+
+    Every SOC except g12710 already wins with fully dedicated cells
+    (break-even None); g12710 needs a high sharing fraction — the
+    quantitative content of the paper's "pessimistic approach" remark.
+    """
+    g12710 = load("g12710")
+    others = {
+        name: breakeven_sharing(load(name))
+        for name in BENCHMARK_NAMES
+        if name != "g12710"
+    }
+    return SharedIsolationAblation(
+        g12710_points=sharing_sweep(g12710),
+        g12710_breakeven=breakeven_sharing(g12710),
+        other_breakevens=others,
+    )
+
+
+def _render_sweep(points: List[SweepPoint], parameter_label: str) -> str:
+    rows = []
+    for point in points:
+        summary = point.analysis.summary
+        rows.append([
+            int(point.parameter),
+            f"{-100.0 * summary.modular_change_fraction:+.1f}%",
+            f"{100.0 * summary.penalty_fraction:.1f}%",
+        ])
+    return format_table([parameter_label, "TDV reduction", "penalty share"], rows)
+
+
+def run(verbose: bool = True) -> Dict[str, object]:
+    """CLI entry point: all three ablations."""
+    idle = idle_bit_ablation()
+    overhead = wrapper_overhead_ablation()
+    granularity = granularity_ablation()
+    shared = shared_isolation_ablation()
+    if verbose:
+        print("Ablation 1: idle bits restored (d695)")
+        print(idle.render())
+        print(f"  conclusion stable under delivered-bits accounting: "
+              f"{idle.conclusion_stable()}")
+        print()
+        print("Ablation 2: wrapper overhead (per-core terminals)")
+        print(_render_sweep(overhead, "core I/O"))
+        print()
+        print("Ablation 3: partitioning granularity (fixed total scan)")
+        print(_render_sweep(granularity, "cores"))
+        print()
+        print("Ablation 4: shared (functional-cell) isolation — the paper's "
+              "stated pessimism")
+        print(shared.render())
+        print(f"  g12710 breaks even at sharing = "
+              f"{shared.g12710_breakeven:.2f}; every other SOC already "
+              f"wins with fully dedicated cells: "
+              f"{all(v is None for v in shared.other_breakevens.values())}")
+    return {
+        "idle": idle,
+        "overhead": overhead,
+        "granularity": granularity,
+        "shared_isolation": shared,
+    }

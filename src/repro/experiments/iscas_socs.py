@@ -1,0 +1,173 @@
+"""Tables 1 and 2: SOC1 and SOC2 built from ISCAS'89-profile cores.
+
+The full experiment of Section 5.1: generate the cores, run ATPG per
+core and on the top-level glue, flatten the SOC and run monolithic
+ATPG, then evaluate every TDV quantity under the Tables-1/2 convention
+(no wrapper cells on chip pins).  Absolute pattern counts differ from
+the paper's ATALANTA-on-real-netlists numbers — the *relations* the
+paper derives from them are what this experiment checks:
+
+* Eq. 2 strictly: the monolithic count exceeds the largest core count
+  (pessimism factor > 1; the paper saw 2.5x / 2.1x);
+* modular TDV falls well below monolithic TDV (2.87x / 2.22x);
+* the isolation penalty is small against the variation benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..atpg.engine import AtpgResult, generate_tests
+from ..core.analysis import pessimism_factor
+from ..core.decomposition import Decomposition, decompose
+from ..core.report import soc_table
+from ..core.tdv import tdv_monolithic, tdv_monolithic_optimistic
+from ..itc02 import paper_tables
+from ..soc.model import Core, Soc
+from ..synth.socgen import SocDesign, elaborate, soc1_design, soc2_design
+
+
+@dataclass
+class IscasSocExperiment:
+    """Everything measured for one of the two ISCAS'89 SOCs."""
+
+    design: SocDesign
+    core_results: Dict[str, AtpgResult]
+    glue_result: AtpgResult
+    mono_result: AtpgResult
+    soc: Soc
+    decomposition: Decomposition
+
+    @property
+    def monolithic_patterns(self) -> int:
+        return self.mono_result.pattern_count
+
+    @property
+    def max_core_patterns(self) -> int:
+        return max(r.pattern_count for r in self.core_results.values())
+
+    @property
+    def pessimism_factor(self) -> float:
+        return pessimism_factor(self.monolithic_patterns, self.soc)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Actual monolithic TDV over modular TDV (2.87 / 2.22 in the paper)."""
+        return (
+            tdv_monolithic(self.soc, self.monolithic_patterns)
+            / self.decomposition.tdv_modular
+        )
+
+    @property
+    def pessimistic_reduction_ratio(self) -> float:
+        """Optimistic monolithic TDV over modular TDV (1.13 / 1.06)."""
+        return tdv_monolithic_optimistic(self.soc) / self.decomposition.tdv_modular
+
+    def render(self) -> str:
+        return soc_table(self.soc, actual_monolithic_patterns=self.monolithic_patterns)
+
+
+def _run_design(design: SocDesign, seed: int) -> IscasSocExperiment:
+    elaborate(design, seed=seed)
+    core_results: Dict[str, AtpgResult] = {}
+    # Identical profiles share a netlist, hence a test set (test reuse).
+    cached: Dict[str, AtpgResult] = {}
+    for instance, profile_name in design.instances:
+        if profile_name not in cached:
+            cached[profile_name] = generate_tests(
+                design.core_netlists[instance], seed=seed
+            )
+        core_results[instance] = cached[profile_name]
+    glue_result = generate_tests(design.glue, seed=seed)
+    mono_result = generate_tests(design.monolithic, seed=seed)
+
+    cores = [
+        Core(
+            name="Core0",
+            inputs=design.chip_inputs,
+            outputs=design.chip_outputs,
+            scan_cells=0,
+            patterns=glue_result.pattern_count,
+            children=[instance for instance, _ in design.instances],
+        )
+    ]
+    for instance, _profile in design.instances:
+        netlist = design.core_netlists[instance]
+        cores.append(
+            Core(
+                name=instance,
+                inputs=len(netlist.inputs),
+                outputs=len(netlist.outputs),
+                scan_cells=len(netlist.flip_flops),
+                patterns=core_results[instance].pattern_count,
+            )
+        )
+    soc = Soc(design.name, cores, top="Core0")
+    decomposition = decompose(
+        soc,
+        monolithic_patterns=mono_result.pattern_count,
+        chip_pin_wrappers=False,
+    )
+    return IscasSocExperiment(
+        design=design,
+        core_results=core_results,
+        glue_result=glue_result,
+        mono_result=mono_result,
+        soc=soc,
+        decomposition=decomposition,
+    )
+
+
+def run_soc1(seed: int = 3) -> IscasSocExperiment:
+    """Table 1's experiment on SOC1 (Figure 4)."""
+    return _run_design(soc1_design(), seed=seed)
+
+
+def run_soc2(seed: int = 3) -> IscasSocExperiment:
+    """Table 2's experiment on SOC2 (Figure 5)."""
+    return _run_design(soc2_design(), seed=seed)
+
+
+def paper_reference(table: int) -> Dict[str, float]:
+    """The published headline quantities for Table 1 or 2."""
+    if table == 1:
+        return {
+            "reduction_ratio": paper_tables.TABLE1_REDUCTION_RATIO,
+            "pessimistic_ratio": paper_tables.TABLE1_PESSIMISTIC_RATIO,
+            "mono_patterns": paper_tables.TABLE1_MONO_PATTERNS,
+            "max_core_patterns": max(
+                row.patterns for row in paper_tables.TABLE1_SOC1
+            ),
+        }
+    if table == 2:
+        return {
+            "reduction_ratio": paper_tables.TABLE2_REDUCTION_RATIO,
+            "pessimistic_ratio": paper_tables.TABLE2_PESSIMISTIC_RATIO,
+            "mono_patterns": paper_tables.TABLE2_MONO_PATTERNS,
+            "max_core_patterns": max(
+                row.patterns for row in paper_tables.TABLE2_SOC2
+            ),
+        }
+    raise ValueError("table must be 1 or 2")
+
+
+def run(table: int = 1, seed: int = 3, verbose: bool = True) -> IscasSocExperiment:
+    """CLI entry point for one of the two experiments."""
+    experiment = run_soc1(seed) if table == 1 else run_soc2(seed)
+    if verbose:
+        reference = paper_reference(table)
+        print(f"Table {table}: {experiment.design.name} "
+              f"(synthetic ISCAS'89-profile cores; see DESIGN.md)")
+        print(experiment.render())
+        print(f"  TDVpenalty = {experiment.decomposition.penalty:,}   "
+              f"TDVbenefit = {experiment.decomposition.benefit_identity:,}")
+        print(f"  Eq. 2 holds: mono {experiment.monolithic_patterns} > "
+              f"max core {experiment.max_core_patterns} "
+              f"(pessimism {experiment.pessimism_factor:.2f}x; paper "
+              f"{reference['mono_patterns']:.0f}/{reference['max_core_patterns']:.0f})")
+        print(f"  reduction ratio {experiment.reduction_ratio:.2f}x "
+              f"(paper {reference['reduction_ratio']:.2f}x), pessimistic "
+              f"{experiment.pessimistic_reduction_ratio:.2f}x "
+              f"(paper {reference['pessimistic_ratio']:.2f}x)")
+    return experiment

@@ -1,0 +1,61 @@
+"""ITC'02 SOC test benchmarks: format, data, calibration, published tables."""
+
+from .benchmarks import BENCHMARK_NAMES, benchmark_names, load, load_all, load_file
+from .calibrate import (
+    CalibrationError,
+    CalibrationHints,
+    CalibrationResult,
+    CalibrationTarget,
+    auto_hints,
+    calibrate,
+    generate_pattern_counts,
+)
+from .format import (
+    SocFile,
+    SocFormatError,
+    dump_soc,
+    load_soc_file,
+    parse_soc,
+    save_soc_file,
+)
+from .known_data import build_p34392
+from .native import (
+    NativeFormatError,
+    NativeSocFile,
+    load_native_file,
+    native_to_soc,
+    parse_native,
+)
+from .stats import BenchmarkStats, explain_outcome, soc_stats, suite_report, suite_stats
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkStats",
+    "CalibrationError",
+    "CalibrationHints",
+    "CalibrationResult",
+    "CalibrationTarget",
+    "NativeFormatError",
+    "NativeSocFile",
+    "SocFile",
+    "SocFormatError",
+    "auto_hints",
+    "benchmark_names",
+    "build_p34392",
+    "calibrate",
+    "dump_soc",
+    "explain_outcome",
+    "generate_pattern_counts",
+    "load",
+    "load_all",
+    "load_file",
+    "load_native_file",
+    "load_soc_file",
+    "native_to_soc",
+    "parse_native",
+    "parse_soc",
+    "save_soc_file",
+    "soc_stats",
+    "suite_report",
+    "suite_stats",
+]

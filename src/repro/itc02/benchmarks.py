@@ -1,0 +1,58 @@
+"""Loading API for the shipped ITC'02 benchmark SOC descriptions.
+
+The ten SOCs of the paper's Table 4 ship as ``.soc`` files under
+``repro/itc02/data/``.  They are produced by :mod:`repro.itc02.make_data`
+(run once; the files are committed) from the genuine per-core data in
+:mod:`repro.itc02.known_data` plus the calibrated reconstructions of
+:mod:`repro.itc02.calibrate`.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from pathlib import Path
+from typing import Dict, List
+
+from ..soc.model import Soc
+from .format import SocFile, parse_soc
+
+#: Table-4 order of the benchmark SOCs.
+BENCHMARK_NAMES: List[str] = [
+    "d695", "h953", "f2126", "g1023", "g12710",
+    "p22810", "p34392", "p93791", "t512505", "a586710",
+]
+
+
+def data_dir() -> Path:
+    """Directory holding the shipped ``.soc`` files."""
+    return Path(str(resources.files("repro.itc02") / "data"))
+
+
+def benchmark_names() -> List[str]:
+    """The ten Table-4 SOC names, in the paper's order."""
+    return list(BENCHMARK_NAMES)
+
+
+def load_file(name: str) -> SocFile:
+    """Load one benchmark's full parsed ``.soc`` file."""
+    if name not in BENCHMARK_NAMES:
+        raise KeyError(
+            f"unknown ITC'02 benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+    path = data_dir() / f"{name}.soc"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"benchmark data file {path} is missing; regenerate it with "
+            f"'python -m repro.itc02.make_data'"
+        )
+    return parse_soc(path.read_text())
+
+
+def load(name: str) -> Soc:
+    """Load one benchmark SOC by name."""
+    return load_file(name).soc
+
+
+def load_all() -> Dict[str, Soc]:
+    """All ten benchmark SOCs, keyed by name, in Table-4 order."""
+    return {name: load(name) for name in BENCHMARK_NAMES}

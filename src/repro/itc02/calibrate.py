@@ -1,0 +1,453 @@
+"""Calibrated reconstruction of ITC'02 SOC descriptions.
+
+The original ITC'02 benchmark files are not redistributable from memory,
+but the paper's Table 4 reports, per SOC: the functional core count, the
+normalized (sample) standard deviation of core pattern counts, and four
+TDV aggregates (optimistic monolithic volume, isolation penalty,
+variation benefit, modular volume).  This module *solves the inverse
+problem*: it synthesizes a flat SOC — per-core inputs/outputs, scan
+cells, and pattern counts — whose aggregates under Equations 3, 4, 7 and
+8 match the published row.
+
+Exact integer matches are provably impossible for several rows (the
+published benefit of d695 and p93791 has the wrong parity for any
+integer SOC — see DESIGN.md), so the solver targets and verifies a small
+relative tolerance instead.  Where genuine per-core data survives in the
+literature it is passed in as *seeds* (fixed pattern counts for d695,
+the four pattern counts the paper quotes for g12710) and only repaired,
+never replaced.
+
+The decomposition identity with the chip-I/O residual (see
+:mod:`repro.core.decomposition`) guarantees that matching the optimistic
+monolithic volume, the penalty, and the identity-convention benefit also
+matches the modular volume, so only three aggregates are solved for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.analysis import normalized_stdev
+from ..core.tdv import summarize
+from ..soc.model import Core, Soc
+from .paper_tables import Table4Row
+
+
+class CalibrationError(ValueError):
+    """Raised when no SOC close to the published aggregates can be built."""
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """The published aggregates a reconstruction must reproduce."""
+
+    soc: str
+    cores: int  # functional cores, excluding the top level
+    norm_stdev: float
+    tdv_opt_mono: int
+    tdv_penalty: int
+    tdv_benefit: int  # identity convention (includes the chip-I/O residual)
+    tdv_modular: int
+
+    @classmethod
+    def from_table4(cls, row: Table4Row) -> "CalibrationTarget":
+        return cls(
+            soc=row.soc,
+            cores=row.cores,
+            norm_stdev=row.norm_stdev,
+            tdv_opt_mono=row.tdv_opt_mono,
+            tdv_penalty=row.tdv_penalty,
+            tdv_benefit=row.tdv_benefit,
+            tdv_modular=row.tdv_modular,
+        )
+
+
+@dataclass
+class CalibrationHints:
+    """Solver knobs; good values come from :func:`auto_hints`.
+
+    ``pattern_counts`` pins the per-core pattern counts (genuine data);
+    ``scan_seed``/``io_seed`` start the allocators from known per-core
+    values, which the repair passes then perturb minimally.
+    """
+
+    max_patterns: int
+    chip_io: int = 128
+    top_patterns: int = 0
+    pattern_counts: Optional[Sequence[int]] = None
+    scan_seed: Optional[Sequence[int]] = None
+    io_seed: Optional[Sequence[int]] = None
+
+
+@dataclass
+class CalibrationResult:
+    """A reconstructed SOC plus its achieved-vs-target errors."""
+
+    soc: Soc
+    target: CalibrationTarget
+    relative_errors: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(abs(err) for err in self.relative_errors.values())
+
+
+def generate_pattern_counts(
+    count: int,
+    max_patterns: int,
+    norm_stdev_target: float,
+    clamp_second: bool = True,
+) -> List[int]:
+    """Deterministic pattern counts with a given max and normalized stdev.
+
+    Uses a geometric-decay family ``t_i = max * exp(-lam * i/(n-1))``
+    whose normalized sample stdev grows monotonically with ``lam``;
+    ``lam`` is found by bisection.  With ``clamp_second`` the
+    second-largest count is clamped to ``max - 1``, giving the benefit
+    repair pass a unit-sized adjustment handle (see
+    :func:`_allocate_scan`); the clamp lowers the family's maximum
+    reachable spread, so it is dropped automatically when the target
+    spread needs the unclamped family (e.g. a586710's 1.95 with 7
+    cores).
+    """
+    if count < 2:
+        raise CalibrationError("need at least 2 cores to shape a pattern-count spread")
+    if max_patterns < 2:
+        raise CalibrationError("max_patterns must be >= 2")
+
+    def counts_for(lam: float, clamp: bool) -> List[int]:
+        values = [
+            max(1, round(max_patterns * math.exp(-lam * i / (count - 1))))
+            for i in range(count)
+        ]
+        values[0] = max_patterns
+        if clamp and count >= 3:
+            values[1] = max(1, max_patterns - 1)
+        return values
+
+    lo, hi = 0.0, 80.0
+    clamp = clamp_second
+    if clamp and normalized_stdev(counts_for(hi, clamp)) < norm_stdev_target:
+        clamp = False  # the clamp caps the reachable spread; drop it
+    if normalized_stdev(counts_for(hi, clamp)) < norm_stdev_target:
+        raise CalibrationError(
+            f"normalized stdev {norm_stdev_target} unreachable with "
+            f"{count} cores (family saturates below the target)"
+        )
+    for _ in range(80):
+        mid = (lo + hi) / 2
+        if normalized_stdev(counts_for(mid, clamp)) < norm_stdev_target:
+            lo = mid
+        else:
+            hi = mid
+    return counts_for((lo + hi) / 2, clamp)
+
+
+def _repair_weighted_sum(
+    values: List[int],
+    weights: Sequence[int],
+    target: int,
+    minimum: int = 0,
+) -> int:
+    """Nudge integer ``values`` so ``sum(w*v)`` approaches ``target``.
+
+    Greedy unit adjustments, largest useful weight first; respects the
+    per-entry ``minimum``.  Returns the remaining error, which is smaller
+    in magnitude than the smallest positive weight (or zero).
+    """
+    error = target - sum(w * v for w, v in zip(weights, values))
+    by_weight = sorted(
+        (i for i, w in enumerate(weights) if w > 0),
+        key=lambda i: weights[i],
+        reverse=True,
+    )
+    progress = True
+    while error != 0 and progress:
+        progress = False
+        if error > 0:
+            for i in by_weight:
+                steps = error // weights[i]
+                if steps > 0:
+                    values[i] += steps
+                    error -= steps * weights[i]
+                    progress = True
+        else:
+            for i in by_weight:
+                steps = min((-error) // weights[i], values[i] - minimum)
+                if steps > 0:
+                    values[i] -= steps
+                    error += steps * weights[i]
+                    progress = True
+    return error
+
+
+def _allocate_scan(
+    pattern_counts: Sequence[int],
+    total_scan: int,
+    strict_benefit: int,
+    seed: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Distribute ``total_scan`` cells so Eq. 8 gives ``strict_benefit``.
+
+    Works with the per-core deficits ``d_i = t_max - t_i``: the benefit
+    is ``2 * sum(d_i * s_i)``, while the optimistic monolithic volume
+    fixes ``sum(s_i)``.  A linear blend between a uniform allocation and
+    a point mass (on the max-deficit core to raise the benefit, on the
+    max-pattern core to lower it) hits the target in the reals; integer
+    rounding is then repaired by unit transfers against the zero-deficit
+    core, which leave ``sum(s_i)`` untouched.
+    """
+    t_max = max(pattern_counts)
+    deficits = [t_max - t for t in pattern_counts]
+    n = len(pattern_counts)
+    target = strict_benefit // 2  # benefit summands are 2*d*s, always even
+    anchor = deficits.index(0)  # a max-pattern core: transfers via it are free
+
+    if seed is not None:
+        scaled = total_scan / max(1, sum(seed))
+        scan = [max(0, round(s * scaled)) for s in seed]
+    else:
+        max_deficit = max(deficits)
+        if target > total_scan * max_deficit:
+            raise CalibrationError(
+                f"benefit target {2 * target} exceeds the maximum reachable "
+                f"{2 * total_scan * max_deficit} for this pattern spread"
+            )
+        uniform_benefit = total_scan * sum(deficits) / n
+        if target >= uniform_benefit:
+            hot = deficits.index(max_deficit)
+            theta = (target - uniform_benefit) / (total_scan * max_deficit - uniform_benefit)
+        else:
+            hot = anchor
+            theta = 1.0 - target / uniform_benefit if uniform_benefit else 1.0
+        theta = min(1.0, max(0.0, theta))
+        scan = [round((1 - theta) * total_scan / n) for _ in range(n)]
+        scan[hot] += round(theta * total_scan)
+
+    # Restore the exact cell total on the anchor (benefit-neutral there).
+    scan[anchor] = max(0, scan[anchor] + total_scan - sum(scan))
+    _repair_scan_benefit(scan, deficits, target, anchor)
+    return scan
+
+
+def _repair_scan_benefit(
+    scan: List[int], deficits: Sequence[int], target: int, anchor: int
+) -> None:
+    """Unit transfers between the anchor and other cores to fix the benefit."""
+    error = target - sum(d * s for d, s in zip(deficits, scan))
+    candidates = sorted(
+        (i for i, d in enumerate(deficits) if d > 0),
+        key=lambda i: deficits[i],
+        reverse=True,
+    )
+    progress = True
+    while error != 0 and progress:
+        progress = False
+        if error > 0:
+            for i in candidates:
+                steps = min(error // deficits[i], scan[anchor])
+                if steps > 0:
+                    scan[anchor] -= steps
+                    scan[i] += steps
+                    error -= steps * deficits[i]
+                    progress = True
+        else:
+            for i in candidates:
+                steps = min((-error) // deficits[i], scan[i])
+                if steps > 0:
+                    scan[anchor] += steps
+                    scan[i] -= steps
+                    error += steps * deficits[i]
+                    progress = True
+
+
+def _allocate_io(
+    pattern_counts: Sequence[int],
+    scan: Sequence[int],
+    penalty_target: int,
+    top_patterns: int,
+    seed: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Choose per-core terminal counts so Eq. 7 gives ``penalty_target``.
+
+    For a flat SOC whose top embeds every core, the penalty is
+    ``sum((t_i + t_top) * io_i) + t_top * io_top``; the caller removes
+    the constant top term, so each core's terminals enter with weight
+    ``t_i + t_top``.
+    """
+    weights = [t + top_patterns for t in pattern_counts]
+    n = len(pattern_counts)
+    if seed is not None:
+        io = [max(2, int(x)) for x in seed]
+    else:
+        # Uniform terminal counts across cores: io = P* / sum(w) keeps
+        # every core's pin count physically plausible.  (Allocating equal
+        # penalty *contributions* instead would hand a one-pattern core
+        # millions of pins.)
+        uniform = max(2, round(penalty_target / max(1, sum(weights))))
+        io = [uniform] * n
+    floor = sum(2 * w for w in weights)
+    if penalty_target < floor:
+        raise CalibrationError(
+            f"penalty target {penalty_target} below the 2-terminal-per-core "
+            f"floor {floor}"
+        )
+    _repair_weighted_sum(io, weights, penalty_target, minimum=2)
+    return io
+
+
+def calibrate(target: CalibrationTarget, hints: CalibrationHints) -> CalibrationResult:
+    """Reconstruct one SOC from its published Table 4 aggregates."""
+    n = target.cores
+    if hints.pattern_counts is not None:
+        patterns = list(hints.pattern_counts)
+        if len(patterns) != n:
+            raise CalibrationError(
+                f"{target.soc}: {len(patterns)} pinned pattern counts for {n} cores"
+            )
+    else:
+        patterns = generate_pattern_counts(n, hints.max_patterns, target.norm_stdev)
+    t_max = max(patterns)
+    if hints.top_patterns > t_max:
+        raise CalibrationError("top_patterns must not exceed the core maximum")
+
+    per_pattern_bits = target.tdv_opt_mono / t_max
+    total_scan = round((per_pattern_bits - hints.chip_io) / 2)
+    if total_scan <= 0:
+        raise CalibrationError(
+            f"{target.soc}: max_patterns {t_max} leaves no scan cells "
+            f"(per-pattern bits {per_pattern_bits:.0f} vs chip I/O {hints.chip_io})"
+        )
+
+    strict_benefit = target.tdv_benefit - hints.chip_io * t_max
+    if strict_benefit < 0:
+        raise CalibrationError(f"{target.soc}: chip I/O {hints.chip_io} too large")
+    scan = _allocate_scan(patterns, total_scan, strict_benefit, seed=hints.scan_seed)
+
+    top_name = f"{target.soc}_top"
+    core_names = [f"{target.soc}_core{i + 1}" for i in range(n)]
+    penalty_for_cores = target.tdv_penalty - hints.top_patterns * hints.chip_io
+    # The top's ISOCOST includes every child's terminals (Eq. 5), so each
+    # core's io enters the total with weight t_i + t_top.
+    io = _allocate_io(
+        patterns, scan, penalty_for_cores, hints.top_patterns, seed=hints.io_seed
+    )
+
+    cores = [
+        Core(
+            name=top_name,
+            inputs=hints.chip_io // 2,
+            outputs=hints.chip_io - hints.chip_io // 2,
+            scan_cells=0,
+            patterns=hints.top_patterns,
+            children=core_names,
+        )
+    ]
+    for i in range(n):
+        cores.append(
+            Core(
+                name=core_names[i],
+                inputs=io[i] // 2,
+                outputs=io[i] - io[i] // 2,
+                scan_cells=scan[i],
+                patterns=patterns[i],
+            )
+        )
+    soc = Soc(target.soc, cores, top=top_name)
+    return CalibrationResult(
+        soc=soc, target=target, relative_errors=_relative_errors(soc, target)
+    )
+
+
+def _relative_errors(soc: Soc, target: CalibrationTarget) -> Dict[str, float]:
+    summary = summarize(soc)
+    achieved_stdev = normalized_stdev(
+        [core.patterns for core in soc if core.name != soc.top_name]
+    )
+    return {
+        "tdv_opt_mono": _rel(summary.tdv_monolithic, target.tdv_opt_mono),
+        "tdv_penalty": _rel(summary.tdv_penalty, target.tdv_penalty),
+        "tdv_benefit": _rel(summary.tdv_benefit, target.tdv_benefit),
+        "tdv_modular": _rel(summary.tdv_modular, target.tdv_modular),
+        "norm_stdev": _rel(achieved_stdev, target.norm_stdev),
+    }
+
+
+def _rel(achieved: float, target: float) -> float:
+    return (achieved - target) / target if target else 0.0
+
+
+_MAX_PATTERN_CANDIDATES = [
+    100, 150, 234, 300, 452, 700, 1_000, 1_314, 1_500, 2_200, 3_300, 5_000,
+    7_500, 10_000, 15_000, 22_000, 33_000, 50_000, 100_000, 200_000,
+    500_000, 1_000_000, 2_000_000,
+]
+_CHIP_IO_CANDIDATES = [64, 128, 256]
+
+
+def auto_hints(
+    target: CalibrationTarget,
+    stdev_tolerance: float = 0.02,
+    aggregate_tolerance: float = 5e-4,
+) -> CalibrationHints:
+    """Search the hint grid for the best-matching reconstruction.
+
+    Tries every (max_patterns, chip_io) candidate pair, runs the full
+    solver, and keeps the pair with the smallest worst-case aggregate
+    error among those whose achieved normalized stdev rounds to the
+    published value.  Deterministic; raises if nothing fits.
+
+    The score covers the optimistic monolithic volume, the penalty, and
+    the benefit only: the modular volume is then pinned by the exact
+    decomposition identity, so its achieved error simply reflects any
+    inconsistency of the published row itself (p22810's printed modular
+    volume is off by exactly 600,000 from its own opt/penalty/benefit
+    columns — see DESIGN.md).
+    """
+    best: Optional[CalibrationHints] = None
+    best_error = math.inf
+    for max_patterns in _MAX_PATTERN_CANDIDATES:
+        for chip_io in _CHIP_IO_CANDIDATES:
+            hints = CalibrationHints(max_patterns=max_patterns, chip_io=chip_io)
+            try:
+                result = calibrate(target, hints)
+            except CalibrationError:
+                continue
+            if abs(result.relative_errors["norm_stdev"]) * target.norm_stdev > stdev_tolerance:
+                continue
+            if not _plausible(result):
+                continue
+            error = max(
+                abs(result.relative_errors[key])
+                for key in ("tdv_opt_mono", "tdv_penalty", "tdv_benefit")
+            )
+            if error < best_error:
+                best_error = error
+                best = hints
+    if best is None or best_error > aggregate_tolerance:
+        raise CalibrationError(
+            f"{target.soc}: no hint candidate within tolerance "
+            f"(best worst-case error {best_error:.2e})"
+        )
+    return best
+
+
+# Plausibility caps for reconstructed cores, in the spirit of the real
+# ITC'02 designs (the largest genuine core has ~25k scan cells; no core
+# has more than a few thousand terminals).  Without these, an
+# aggregate-optimal reconstruction of a586710 puts 10^8 scan cells on
+# one core instead of the paper-described "small core ... tested with an
+# extremely large number of patterns".
+_MAX_CORE_SCAN_CELLS = 200_000
+_MAX_CORE_TERMINALS = 20_000
+
+
+def _plausible(result: CalibrationResult) -> bool:
+    for core in result.soc:
+        if core.scan_cells > _MAX_CORE_SCAN_CELLS:
+            return False
+        if core.io_terminals > _MAX_CORE_TERMINALS:
+            return False
+    return True

@@ -1,0 +1,223 @@
+"""Reader/writer for the ``.soc`` SOC-description format.
+
+The ITC'02 SOC Test Benchmarks (Marinissen, Iyengar, Chakrabarty, ITC
+2002) distribute each SOC as a text file listing, per module, its
+terminal counts, scan chains, and test-set sizes.  This module implements
+a faithful, line-oriented dialect of that format restricted to the fields
+the paper's analysis consumes — for each core: inputs, outputs,
+bidirectionals, scan cells (optionally as explicit scan-chain lengths,
+which the TAM substrate uses), the stand-alone pattern count, and the
+embedding hierarchy.
+
+Grammar (``#`` starts a comment, blank lines ignored)::
+
+    Soc <name>
+    Top <core-name>
+    Core <core-name>
+        Inputs <int>
+        Outputs <int>
+        Bidirs <int>
+        ScanCells <int>            # or: ScanChains <len> <len> ...
+        Patterns <int>
+        Embeds <core-name> ...
+    End
+
+Every ``Core``/``End`` block may omit fields, which default to zero /
+empty.  ``ScanCells`` and ``ScanChains`` are mutually exclusive within a
+block; ``ScanChains`` also records the chain partition in
+:attr:`SocFile.scan_chains`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..soc.model import Core, Soc
+
+
+class SocFormatError(ValueError):
+    """Raised on malformed ``.soc`` input; carries the offending line number."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+@dataclass
+class SocFile:
+    """Parsed contents of a ``.soc`` file.
+
+    Besides the :class:`~repro.soc.model.Soc` proper, keeps the
+    scan-chain partition of each core (empty when the file used the
+    aggregate ``ScanCells`` form), which downstream wrapper/TAM design
+    needs but the TDV formulas do not.
+    """
+
+    soc: Soc
+    scan_chains: Dict[str, List[int]] = field(default_factory=dict)
+
+
+def parse_soc(text: str) -> SocFile:
+    """Parse ``.soc`` text into a :class:`SocFile`."""
+    soc_name: Optional[str] = None
+    top_name: Optional[str] = None
+    cores: List[Core] = []
+    chains: Dict[str, List[int]] = {}
+    current: Optional[Dict[str, object]] = None
+
+    def finish_block(line_number: int) -> None:
+        nonlocal current
+        if current is None:
+            raise SocFormatError("'End' without matching 'Core'", line_number)
+        name = str(current["name"])
+        scan_cells = current["scan_cells"]
+        core_chains = current["chains"]
+        if core_chains:
+            scan_cells = sum(core_chains)  # type: ignore[arg-type]
+            chains[name] = list(core_chains)  # type: ignore[arg-type]
+        cores.append(
+            Core(
+                name=name,
+                inputs=int(current["inputs"]),  # type: ignore[call-overload]
+                outputs=int(current["outputs"]),  # type: ignore[call-overload]
+                bidirs=int(current["bidirs"]),  # type: ignore[call-overload]
+                scan_cells=int(scan_cells),  # type: ignore[call-overload]
+                patterns=int(current["patterns"]),  # type: ignore[call-overload]
+                children=list(current["children"]),  # type: ignore[call-overload]
+            )
+        )
+        current = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        keyword, *rest = line.split()
+        if keyword == "Soc":
+            soc_name = _one_token(rest, "Soc", line_number)
+        elif keyword == "Top":
+            top_name = _one_token(rest, "Top", line_number)
+        elif keyword == "Core":
+            if current is not None:
+                raise SocFormatError("nested 'Core' block", line_number)
+            current = {
+                "name": _one_token(rest, "Core", line_number),
+                "inputs": 0, "outputs": 0, "bidirs": 0,
+                "scan_cells": 0, "patterns": 0,
+                "children": [], "chains": [],
+            }
+        elif keyword == "End":
+            finish_block(line_number)
+        elif keyword in ("Inputs", "Outputs", "Bidirs", "ScanCells", "Patterns"):
+            if current is None:
+                raise SocFormatError(f"{keyword!r} outside a Core block", line_number)
+            value = _one_int(rest, keyword, line_number)
+            slot = {
+                "Inputs": "inputs", "Outputs": "outputs", "Bidirs": "bidirs",
+                "ScanCells": "scan_cells", "Patterns": "patterns",
+            }[keyword]
+            if keyword == "ScanCells" and current["chains"]:
+                raise SocFormatError(
+                    "ScanCells and ScanChains are mutually exclusive", line_number
+                )
+            current[slot] = value
+        elif keyword == "ScanChains":
+            if current is None:
+                raise SocFormatError("'ScanChains' outside a Core block", line_number)
+            if current["scan_cells"]:
+                raise SocFormatError(
+                    "ScanCells and ScanChains are mutually exclusive", line_number
+                )
+            current["chains"] = [_as_int(token, line_number) for token in rest]
+        elif keyword == "Embeds":
+            if current is None:
+                raise SocFormatError("'Embeds' outside a Core block", line_number)
+            current["children"].extend(rest)  # type: ignore[union-attr]
+        else:
+            raise SocFormatError(f"unknown keyword {keyword!r}", line_number)
+
+    if current is not None:
+        raise SocFormatError("unterminated Core block (missing 'End')")
+    if soc_name is None:
+        raise SocFormatError("missing 'Soc <name>' header")
+    if not cores:
+        raise SocFormatError(f"SOC {soc_name!r} defines no cores")
+    soc = Soc(soc_name, cores, top=top_name)
+    return SocFile(soc=soc, scan_chains=chains)
+
+
+def _one_token(tokens: List[str], keyword: str, line_number: int) -> str:
+    if len(tokens) != 1:
+        raise SocFormatError(
+            f"{keyword!r} expects exactly one value, got {len(tokens)}", line_number
+        )
+    return tokens[0]
+
+
+def _one_int(tokens: List[str], keyword: str, line_number: int) -> int:
+    return _as_int(_one_token(tokens, keyword, line_number), line_number)
+
+
+def _as_int(token: str, line_number: int) -> int:
+    try:
+        value = int(token)
+    except ValueError:
+        raise SocFormatError(f"expected an integer, got {token!r}", line_number) from None
+    if value < 0:
+        raise SocFormatError(f"expected a non-negative integer, got {value}", line_number)
+    return value
+
+
+def dump_soc(
+    source: Union[Soc, SocFile],
+    header_comment: Optional[str] = None,
+) -> str:
+    """Serialize an SOC (or parsed :class:`SocFile`) back to ``.soc`` text."""
+    if isinstance(source, SocFile):
+        soc, chains = source.soc, source.scan_chains
+    else:
+        soc, chains = source, {}
+    lines: List[str] = []
+    if header_comment:
+        lines.extend(f"# {line}" for line in header_comment.splitlines())
+    lines.append(f"Soc {soc.name}")
+    lines.append(f"Top {soc.top_name}")
+    for core in soc:
+        lines.append(f"Core {core.name}")
+        lines.append(f"    Inputs {core.inputs}")
+        lines.append(f"    Outputs {core.outputs}")
+        if core.bidirs:
+            lines.append(f"    Bidirs {core.bidirs}")
+        if core.name in chains:
+            chain_list = " ".join(str(length) for length in chains[core.name])
+            lines.append(f"    ScanChains {chain_list}")
+        elif core.scan_cells:
+            lines.append(f"    ScanCells {core.scan_cells}")
+        lines.append(f"    Patterns {core.patterns}")
+        if core.children:
+            lines.append(f"    Embeds {' '.join(core.children)}")
+        lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def load_soc_file(path: Union[str, Path]) -> SocFile:
+    """Parse a ``.soc`` file from disk."""
+    return parse_soc(Path(path).read_text())
+
+
+def save_soc_file(
+    path: Union[str, Path],
+    source: Union[Soc, SocFile],
+    header_comment: Optional[str] = None,
+) -> None:
+    """Write an SOC to disk in ``.soc`` format."""
+    Path(path).write_text(dump_soc(source, header_comment=header_comment))
+
+
+def parse_many(texts: Iterable[Tuple[str, str]]) -> Dict[str, SocFile]:
+    """Parse several named ``.soc`` texts; keys are the given names."""
+    return {name: parse_soc(text) for name, text in texts}

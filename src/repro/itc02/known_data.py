@@ -1,0 +1,61 @@
+"""Genuine per-core ITC'02 data that survives in the open literature.
+
+Three of the ten Table-4 SOCs can be (partially) reconstructed from
+published sources rather than calibrated from aggregates alone:
+
+* **p34392** — the paper's own Table 3 lists every core verbatim; we
+  rebuild it exactly, with the hierarchy of Figure 3 (cores 1, 2, 10 and
+  18 at the top level).
+* **d695** — the per-core table of this ISCAS'85/89-based SOC appears in
+  many wrapper/TAM papers (e.g. Iyengar, Chakrabarty & Marinissen, DATE
+  2002); we pin the pattern counts and seed the scan/terminal counts
+  from it, letting the calibrator repair the handful of cells needed to
+  meet the published aggregates.
+* **g12710** — the paper itself quotes the four core pattern counts
+  (852, 1314, 1223, 1223) in Section 5.2; they are pinned.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..soc.model import Core, Soc
+from .paper_tables import G12710_PATTERN_COUNTS, TABLE3_P34392
+
+# d695 cores in ITC'02 order: c6288, c7552, s838, s9234, s38584, s13207,
+# s15850, s5378, s35932, s38417.
+D695_CIRCUITS: List[str] = [
+    "c6288", "c7552", "s838", "s9234", "s38584",
+    "s13207", "s15850", "s5378", "s35932", "s38417",
+]
+D695_PATTERN_COUNTS: List[int] = [12, 73, 75, 105, 110, 234, 95, 97, 12, 68]
+D695_SCAN_SEED: List[int] = [0, 0, 32, 228, 1426, 638, 534, 179, 1728, 1636]
+# Per-core functional terminals (inputs + outputs), from the same tables.
+D695_IO_SEED: List[int] = [64, 315, 35, 75, 342, 214, 227, 84, 355, 134]
+D695_CHIP_IO = 24  # solved so the Eq. 3 bit width matches Table 4's 12,768
+
+G12710_PATTERNS: List[int] = list(G12710_PATTERN_COUNTS)
+
+# Figure 3 places cores 1, 2, 10 and 18 at the SOC top level; Table 3's
+# "Embeds" entry for core 0 lists only 1, 2 and 18, which is one of the
+# paper's internal inconsistencies (DESIGN.md).  We follow the figure.
+P34392_TOP_CHILDREN = ("1", "2", "10", "18")
+
+
+def build_p34392() -> Soc:
+    """The p34392 SOC exactly as published in the paper's Table 3."""
+    cores = []
+    for row in TABLE3_P34392:
+        children = P34392_TOP_CHILDREN if row.core == "0" else row.embeds
+        cores.append(
+            Core(
+                name=row.core,
+                inputs=row.inputs,
+                outputs=row.outputs,
+                bidirs=row.bidirs,
+                scan_cells=row.scan_cells,
+                patterns=row.patterns,
+                children=list(children),
+            )
+        )
+    return Soc("p34392", cores, top="0")

@@ -1,0 +1,165 @@
+"""Published numbers from the paper, verbatim, for paper-vs-measured checks.
+
+Everything here is transcribed from Sinanoglu & Marinissen, DATE 2008:
+Tables 1–4 plus the Section 3 worked example.  These constants are the
+*targets* of the reproduction — the library never computes from them
+except in the calibrated-reconstruction solver, which synthesizes core
+data matching the Table 4 aggregates for the SOCs whose original ITC'02
+files are unavailable offline (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row of Table 4 (ITC'02 SOC comparison)."""
+
+    soc: str
+    cores: int  # functional cores (excluding the top level)
+    norm_stdev: float  # normalized sample stdev of core pattern counts
+    tdv_opt_mono: int
+    tdv_penalty: int
+    penalty_percent: float  # vs tdv_opt_mono; positive = overhead
+    tdv_benefit: int
+    benefit_percent: float  # vs tdv_opt_mono; negative = reduction
+    tdv_modular: int
+    modular_percent: float  # change vs tdv_opt_mono; negative = reduction
+
+
+TABLE4: List[Table4Row] = [
+    Table4Row("d695", 10, 0.70, 2_987_712, 164_894, +5.5,
+              1_935_953, -64.8, 1_216_653, -59.3),
+    Table4Row("h953", 8, 0.92, 3_176_074, 147_298, +4.6,
+              1_121_480, -35.3, 2_201_892, -30.7),
+    Table4Row("f2126", 4, 0.68, 11_812_624, 400_418, +3.4,
+              1_982_992, -16.8, 10_230_050, -13.4),
+    Table4Row("g1023", 14, 1.05, 828_120, 233_207, +28.2,
+              479_124, -57.9, 582_203, -29.7),
+    Table4Row("g12710", 4, 0.18, 34_140_348, 16_223_802, +47.5,
+              3_036_376, -8.9, 47_327_774, +38.6),
+    Table4Row("p22810", 28, 2.72, 612_736_956, 2_657_286, +0.4,
+              601_177_672, -98.1, 13_616_570, -97.7),
+    Table4Row("p34392", 19, 1.29, 522_738_000, 4_991_278, +9.5,
+              499_191_248, -95.5, 28_538_030, -86.0),
+    Table4Row("p93791", 32, 1.79, 1_101_977_712, 5_451_526, +0.5,
+              1_060_719_663, -96.3, 46_709_575, -95.8),
+    Table4Row("t512505", 31, 0.93, 459_196_200, 4_293_188, +0.9,
+              136_793_570, -29.8, 326_695_818, -28.9),
+    Table4Row("a586710", 7, 1.95, 144_302_301_808, 728_526_992, +0.5,
+              144_080_555_088, -99.8, 950_273_712, -99.3),
+]
+
+TABLE4_BY_NAME: Dict[str, Table4Row] = {row.soc: row for row in TABLE4}
+
+TABLE4_AVERAGE_PENALTY_PERCENT = +10.1
+TABLE4_AVERAGE_BENEFIT_PERCENT = -60.3
+TABLE4_AVERAGE_MODULAR_PERCENT = -50.2
+
+# The four g12710 core pattern counts the paper quotes in Section 5.2.
+G12710_PATTERN_COUNTS: Tuple[int, int, int, int] = (852, 1314, 1223, 1223)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table 3 (per-core computation for p34392)."""
+
+    core: str
+    embeds: Tuple[str, ...]
+    inputs: int
+    outputs: int
+    bidirs: int
+    scan_cells: int
+    patterns: int
+    tdv: int
+
+
+TABLE3_P34392: List[Table3Row] = [
+    Table3Row("0", ("1", "2", "18"), 32, 27, 114, 0, 27, 39_069),
+    Table3Row("1", (), 15, 94, 0, 806, 210, 361_410),
+    Table3Row("2", ("3", "4", "5", "6", "7", "8", "9"), 165, 263, 0, 8_856, 514, 9_521_850),
+    Table3Row("3", (), 37, 25, 0, 0, 3_108, 192_696),
+    Table3Row("4", (), 38, 25, 0, 0, 6_180, 389_340),
+    Table3Row("5", (), 62, 25, 0, 0, 12_336, 1_073_232),
+    Table3Row("6", (), 11, 8, 0, 0, 1_965, 37_335),
+    Table3Row("7", (), 9, 8, 0, 0, 512, 8_704),
+    Table3Row("8", (), 46, 17, 0, 0, 9_930, 625_590),
+    Table3Row("9", (), 41, 33, 0, 0, 228, 16_872),
+    Table3Row("10", ("11", "12", "13", "14", "15", "16", "17"), 129, 207, 0, 4_827, 454, 4_559_068),
+    Table3Row("11", (), 23, 8, 0, 0, 9_285, 287_835),
+    Table3Row("12", (), 7, 4, 0, 0, 173, 1_903),
+    Table3Row("13", (), 12, 16, 0, 0, 2_560, 71_680),
+    Table3Row("14", (), 11, 8, 0, 0, 432, 8_208),
+    Table3Row("15", (), 22, 8, 0, 0, 4_440, 133_200),
+    Table3Row("16", (), 7, 7, 0, 0, 128, 1_792),
+    Table3Row("17", (), 15, 4, 0, 0, 786, 14_934),
+    Table3Row("18", ("19",), 175, 212, 0, 6_555, 745, 10_120_080),
+    Table3Row("19", (), 62, 25, 0, 0, 12_336, 1_073_232),
+]
+
+TABLE3_SOC_TDV = 28_538_030
+
+# Rows of Table 3 whose published TDV does not satisfy Eq. 4/5 applied to
+# the row's own published parameters (see DESIGN.md, "Known internal
+# inconsistencies"): core 0 (published 39,069; Eq. 4/5 gives 27 x 1211 =
+# 32,697 with the listed embeds) and core 10 (published 4,559,068;
+# Eq. 4/5 gives 454 x 10,142 = 4,604,468).
+TABLE3_INCONSISTENT_CORES: Tuple[str, ...] = ("0", "10")
+
+
+@dataclass(frozen=True)
+class Table12Row:
+    """One row of Table 1 or 2 (ISCAS'89-based SOC experiments)."""
+
+    core: str
+    circuit: Optional[str]
+    inputs: int
+    outputs: int
+    scan_cells: int
+    patterns: int
+    tdv: int
+
+
+TABLE1_SOC1: List[Table12Row] = [
+    Table12Row("Core 1", "s713", 35, 23, 19, 52, 4_992),
+    Table12Row("Core 2", "s953", 16, 23, 29, 85, 8_245),
+    Table12Row("Core 3", "s1423", 17, 5, 74, 62, 10_540),
+    Table12Row("Core 4", "s1423", 17, 5, 74, 62, 10_540),
+    Table12Row("Core 5", "s1423", 17, 5, 74, 62, 10_540),
+    Table12Row("Core 0", None, 51, 10, 0, 2, 326),
+]
+TABLE1_SOC_TDV = 45_183
+TABLE1_MONO_PATTERNS = 216
+TABLE1_MONO_TDV = 129_816
+TABLE1_MONO_OPT_TDV = 51_085
+TABLE1_PENALTY = 10_627
+TABLE1_BENEFIT = 95_260
+TABLE1_REDUCTION_RATIO = 2.87
+TABLE1_PESSIMISTIC_RATIO = 1.13
+
+TABLE2_SOC2: List[Table12Row] = [
+    Table12Row("Core 1", "s953", 16, 23, 29, 85, 8_245),
+    Table12Row("Core 2", "s5378", 35, 49, 179, 244, 107_848),
+    Table12Row("Core 3", "s13207", 31, 121, 669, 452, 673_480),
+    Table12Row("Core 4", "s15850", 14, 87, 597, 428, 554_260),
+    Table12Row("Core 0", None, 14, 198, 0, 2, 752),
+]
+TABLE2_SOC_TDV = 1_344_585
+TABLE2_MONO_PATTERNS = 945
+TABLE2_MONO_TDV = 2_986_200
+TABLE2_MONO_OPT_TDV = 1_428_320
+TABLE2_PENALTY = 97_701
+TABLE2_BENEFIT = 1_739_316
+TABLE2_REDUCTION_RATIO = 2.22
+TABLE2_PESSIMISTIC_RATIO = 1.06
+
+# Section 3 worked example (Figures 1-2): cones A/B/C with 20/10/20 scan
+# flip-flops and 200/300/400 partial patterns.
+CONE_EXAMPLE_FLIP_FLOPS: Tuple[int, int, int] = (20, 10, 20)
+CONE_EXAMPLE_PATTERNS: Tuple[int, int, int] = (200, 300, 400)
+CONE_EXAMPLE_MONOLITHIC_BITS = 20_000
+CONE_EXAMPLE_MODULAR_BITS = 15_000
+CONE_EXAMPLE_REDUCTION_PERCENT = 25.0

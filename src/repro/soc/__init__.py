@@ -1,0 +1,73 @@
+"""SOC data model: cores, hierarchy, wrappers, flattening."""
+
+from .builder import SocBuilder
+from .diagram import hierarchy_depth, hierarchy_summary, hierarchy_tree
+from .flatten import flat_bits_per_pattern, flatten
+from .hierarchy import (
+    core_tdv,
+    core_test_bits_per_pattern,
+    isocost,
+    isocost_table,
+    wrapper_cell_count,
+)
+from .model import Core, Soc, SocModelError, make_soc
+from .shared_isolation import (
+    SharingPoint,
+    breakeven_sharing,
+    shared_isocost,
+    sharing_sweep,
+    tdv_modular_shared,
+    tdv_penalty_shared,
+)
+from .wir import (
+    WirInstruction,
+    WirOverheadReport,
+    WirSession,
+    session_instruction_loads,
+    wir_overhead_report,
+    wir_session,
+)
+from .wrapper import (
+    Wrapper,
+    WrapperCell,
+    WrapperCellKind,
+    WrapperMode,
+    isocost_from_wrappers,
+    wrapper_area_cells,
+)
+
+__all__ = [
+    "Core",
+    "SharingPoint",
+    "Soc",
+    "SocBuilder",
+    "SocModelError",
+    "WirInstruction",
+    "WirOverheadReport",
+    "WirSession",
+    "Wrapper",
+    "WrapperCell",
+    "WrapperCellKind",
+    "WrapperMode",
+    "core_tdv",
+    "core_test_bits_per_pattern",
+    "flat_bits_per_pattern",
+    "flatten",
+    "hierarchy_depth",
+    "hierarchy_summary",
+    "hierarchy_tree",
+    "isocost",
+    "isocost_from_wrappers",
+    "isocost_table",
+    "make_soc",
+    "breakeven_sharing",
+    "session_instruction_loads",
+    "shared_isocost",
+    "sharing_sweep",
+    "tdv_modular_shared",
+    "tdv_penalty_shared",
+    "wir_overhead_report",
+    "wir_session",
+    "wrapper_area_cells",
+    "wrapper_cell_count",
+]

@@ -1,0 +1,119 @@
+"""Fluent construction API for SOC descriptions.
+
+The experiments assemble SOCs in three ways — by hand (Tables 1–2), from
+ITC'02 files (Tables 3–4), and synthetically (sweeps).  ``SocBuilder``
+is the by-hand path: it accumulates cores, wires up the hierarchy, and
+validates once at :meth:`SocBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .model import Core, Soc, SocModelError
+
+
+class SocBuilder:
+    """Incrementally assemble a :class:`~repro.soc.model.Soc`.
+
+    Example (the paper's SOC1 skeleton)::
+
+        soc = (
+            SocBuilder("SOC1")
+            .add_top("Core0", inputs=51, outputs=10, patterns=2,
+                     children=["Core1", "Core2", "Core3", "Core4", "Core5"])
+            .add_core("Core1", inputs=35, outputs=23, scan_cells=19, patterns=52)
+            ...
+            .build()
+        )
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cores: List[Core] = []
+        self._top_name: Optional[str] = None
+        self._pending_children: Dict[str, List[str]] = {}
+
+    def add_core(
+        self,
+        name: str,
+        inputs: int = 0,
+        outputs: int = 0,
+        bidirs: int = 0,
+        scan_cells: int = 0,
+        patterns: int = 0,
+        children: Optional[List[str]] = None,
+    ) -> "SocBuilder":
+        """Add one core; ``children`` may name cores added later."""
+        self._cores.append(
+            Core(
+                name=name,
+                inputs=inputs,
+                outputs=outputs,
+                bidirs=bidirs,
+                scan_cells=scan_cells,
+                patterns=patterns,
+                children=list(children) if children else [],
+            )
+        )
+        return self
+
+    def add_top(
+        self,
+        name: str,
+        inputs: int = 0,
+        outputs: int = 0,
+        bidirs: int = 0,
+        scan_cells: int = 0,
+        patterns: int = 0,
+        children: Optional[List[str]] = None,
+    ) -> "SocBuilder":
+        """Add the chip-level core and mark it as the SOC top."""
+        if self._top_name is not None:
+            raise SocModelError(
+                f"SOC {self.name!r} already has top core {self._top_name!r}"
+            )
+        self._top_name = name
+        return self.add_core(
+            name, inputs=inputs, outputs=outputs, bidirs=bidirs,
+            scan_cells=scan_cells, patterns=patterns, children=children,
+        )
+
+    def embed(self, parent: str, child: str) -> "SocBuilder":
+        """Record that ``parent`` directly embeds ``child``.
+
+        Both cores may be added before or after this call; the embedding
+        is resolved at :meth:`build`.
+        """
+        self._pending_children.setdefault(parent, []).append(child)
+        return self
+
+    def build(self) -> Soc:
+        """Validate and produce the immutable SOC description."""
+        if not self._cores:
+            raise SocModelError(f"SOC {self.name!r} has no cores")
+        cores = []
+        for core in self._cores:
+            extra = self._pending_children.get(core.name, [])
+            if extra:
+                merged = list(core.children)
+                for child in extra:
+                    if child in merged:
+                        raise SocModelError(
+                            f"SOC {self.name!r}: {core.name!r} embeds "
+                            f"{child!r} twice"
+                        )
+                    merged.append(child)
+                core = Core(
+                    name=core.name, inputs=core.inputs, outputs=core.outputs,
+                    bidirs=core.bidirs, scan_cells=core.scan_cells,
+                    patterns=core.patterns, children=merged,
+                )
+            cores.append(core)
+        known = {core.name for core in cores}
+        for parent in self._pending_children:
+            if parent not in known:
+                raise SocModelError(
+                    f"SOC {self.name!r}: embed() references unknown core {parent!r}"
+                )
+        return Soc(self.name, cores, top=self._top_name)

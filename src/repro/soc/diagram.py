@@ -1,0 +1,65 @@
+"""Text rendering of SOC hierarchies (the Figure 3 structural view).
+
+The paper sketches p34392's embedding structure graphically; this module
+produces the equivalent text tree with per-core annotations, which the
+survey example and the Table 3 bench use to make the hierarchy
+inspectable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .hierarchy import isocost
+from .model import Core, Soc
+
+
+def hierarchy_tree(soc: Soc, annotate: bool = True) -> str:
+    """An indented tree of the SOC's embedding structure.
+
+    Roots first (the top core leads), children indented beneath their
+    parent.  With ``annotate``, each line carries the core's I/O,
+    scan-cell and pattern counts plus its Eq. 5 isolation cost.
+    """
+    lines: List[str] = [f"Soc {soc.name}"]
+    roots = soc.roots()
+    ordered = [soc.top] + [core for core in roots if core.name != soc.top_name]
+
+    def describe(core: Core) -> str:
+        if not annotate:
+            return core.name
+        return (
+            f"{core.name}  "
+            f"[I={core.inputs} O={core.outputs}"
+            + (f" B={core.bidirs}" if core.bidirs else "")
+            + f" S={core.scan_cells} T={core.patterns}"
+            f" ISO={isocost(soc, core.name)}]"
+        )
+
+    def walk(core: Core, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + describe(core))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        children = soc.children_of(core.name)
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1)
+
+    for index, root in enumerate(ordered):
+        walk(root, "", index == len(ordered) - 1)
+    return "\n".join(lines)
+
+
+def hierarchy_depth(soc: Soc) -> int:
+    """Maximum embedding depth (0 for a flat SOC's functional cores ...
+    measured from the roots)."""
+    return max(soc.depth_of(core.name) for core in soc)
+
+
+def hierarchy_summary(soc: Soc) -> str:
+    """One-line structural summary: core counts by depth."""
+    by_depth = {}
+    for core in soc:
+        by_depth.setdefault(soc.depth_of(core.name), 0)
+        by_depth[soc.depth_of(core.name)] += 1
+    parts = [f"depth {d}: {by_depth[d]}" for d in sorted(by_depth)]
+    return f"{soc.name}: {len(soc)} cores ({', '.join(parts)})"

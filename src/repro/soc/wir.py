@@ -1,0 +1,105 @@
+"""IEEE 1500 wrapper-instruction overhead.
+
+Switching a core's wrapper between Functional, InTest, ExTest and
+Bypass is done by shifting an instruction into its Wrapper Instruction
+Register (WIR) over the serial wrapper interface.  The paper's TDV
+model ignores these control bits — justifiably, as this module shows:
+the instruction traffic for a whole modular test session is linear in
+the number of cores, not in patterns or scan cells, so it vanishes
+against the data volumes of Tables 1–4.  Quantifying that is the
+point of the :func:`wir_overhead_report` ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .hierarchy import isocost
+from .model import Soc
+
+
+class WirInstruction(enum.Enum):
+    """The instruction set of a minimal IEEE 1500-style wrapper."""
+
+    WS_BYPASS = 0b000
+    WS_FUNCTIONAL = 0b001
+    WS_INTEST = 0b010
+    WS_EXTEST = 0b011
+    WS_SAFE = 0b100  # park outputs at safe values while neighbours test
+
+    @classmethod
+    def width(cls) -> int:
+        """Bits per instruction (enough to encode the whole set)."""
+        return max(member.value for member in cls).bit_length()
+
+
+@dataclass(frozen=True)
+class WirSession:
+    """The instruction traffic of one modular test session."""
+
+    soc_name: str
+    instruction_bits: int
+    loads: int  # instruction loads over the whole session
+
+    @property
+    def total_bits(self) -> int:
+        return self.instruction_bits * self.loads
+
+
+def session_instruction_loads(soc: Soc) -> int:
+    """Instruction loads for one full modular session.
+
+    Testing core P requires: P's wrapper to InTest, each direct child's
+    wrapper to ExTest, and afterwards all of them back to Bypass/Safe —
+    two loads per involved wrapper per core test, summed over cores.
+    The top core's chip pins need no wrapper (Tables 1–2 convention),
+    but its children still switch.
+    """
+    loads = 0
+    for core in soc:
+        involved = 1 + len(core.children)  # the core itself plus children
+        if core.name == soc.top_name:
+            involved -= 1  # chip-level pins carry no wrapper
+        loads += 2 * involved  # configure before, restore after
+    return loads
+
+
+def wir_session(soc: Soc) -> WirSession:
+    return WirSession(
+        soc_name=soc.name,
+        instruction_bits=WirInstruction.width(),
+        loads=session_instruction_loads(soc),
+    )
+
+
+@dataclass(frozen=True)
+class WirOverheadReport:
+    """Instruction bits against the session's test data volume."""
+
+    session: WirSession
+    tdv_modular: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.tdv_modular == 0:
+            return float("inf")
+        return self.session.total_bits / self.tdv_modular
+
+
+def wir_overhead_report(soc: Soc) -> WirOverheadReport:
+    """The ablation: how much the ignored WIR traffic actually costs."""
+    from ..core.tdv import tdv_modular
+
+    return WirOverheadReport(
+        session=wir_session(soc),
+        tdv_modular=tdv_modular(soc),
+    )
+
+
+def suite_wir_overheads(socs: List[Soc]) -> Dict[str, float]:
+    """Overhead fractions for a list of SOCs, keyed by name."""
+    return {
+        soc.name: wir_overhead_report(soc).overhead_fraction for soc in socs
+    }

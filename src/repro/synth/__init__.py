@@ -1,0 +1,18 @@
+"""Synthetic circuit generation with ISCAS'89 profiles; SOC1/SOC2 assembly."""
+
+from .generator import GeneratorSpec, generate_circuit
+from .profiles import ISCAS89_PROFILES, CircuitProfile, profile
+from .socgen import SocDesign, Wire, elaborate, soc1_design, soc2_design
+
+__all__ = [
+    "CircuitProfile",
+    "GeneratorSpec",
+    "ISCAS89_PROFILES",
+    "SocDesign",
+    "Wire",
+    "elaborate",
+    "generate_circuit",
+    "profile",
+    "soc1_design",
+    "soc2_design",
+]

@@ -1,0 +1,91 @@
+"""ISCAS'89 circuit profiles, as used by the paper's Tables 1 and 2.
+
+Terminal and flip-flop counts are the ones the paper reports per core
+(Tables 1–2).  Gate budgets are scaled below the historical gate counts
+of the largest circuits to keep the pure-Python ATPG tractable; the
+scaling is testability-neutral for the TDV analysis, which consumes
+only I/O counts, scan-cell counts, and the resulting pattern-count
+*statistics* (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .generator import GeneratorSpec, generate_circuit
+from ..circuit.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Shape of one ISCAS'89 benchmark circuit.
+
+    Cone-width bounds are the tuning knob for testing difficulty: wide
+    cones need many patterns per cone (every input pin fault wants its
+    own sensitizing pattern), narrow cones few.  They are calibrated so
+    the *ordering* of per-core pattern counts matches the paper's
+    Tables 1-2 — s953 the hardest of SOC1's cores, s13207 the hardest
+    of SOC2's, the scan-heavy s1423 among the easiest.
+    """
+
+    name: str
+    inputs: int
+    outputs: int
+    flip_flops: int
+    historical_gates: int  # gate count of the real netlist, for reference
+    target_gates: int  # generator budget (scaled for tractability)
+    min_cone_width: int = 2
+    max_cone_width: int = 16
+    overlap: float = 0.5
+    xor_fraction: float = 0.1
+
+    def spec(self, instance_name: str, seed: int = 0) -> GeneratorSpec:
+        return GeneratorSpec(
+            name=instance_name,
+            inputs=self.inputs,
+            outputs=self.outputs,
+            flip_flops=self.flip_flops,
+            target_gates=self.target_gates,
+            min_cone_width=self.min_cone_width,
+            max_cone_width=self.max_cone_width,
+            overlap=self.overlap,
+            xor_fraction=self.xor_fraction,
+            seed=seed,
+        )
+
+    def generate(self, instance_name: str, seed: int = 0) -> Netlist:
+        return generate_circuit(self.spec(instance_name, seed=seed))
+
+
+ISCAS89_PROFILES: Dict[str, CircuitProfile] = {
+    # I/O and flip-flop counts as reported in the paper's Tables 1-2.
+    "s713": CircuitProfile("s713", 35, 23, 19, 393, 360,
+                           min_cone_width=2, max_cone_width=6,
+                           overlap=0.55, xor_fraction=0.20),
+    "s953": CircuitProfile("s953", 16, 23, 29, 395, 450,
+                           min_cone_width=6, max_cone_width=12,
+                           overlap=0.70, xor_fraction=0.25),
+    "s1423": CircuitProfile("s1423", 17, 5, 74, 657, 620,
+                            min_cone_width=2, max_cone_width=5,
+                            overlap=0.50, xor_fraction=0.15),
+    "s5378": CircuitProfile("s5378", 35, 49, 179, 2779, 1300,
+                            min_cone_width=5, max_cone_width=12,
+                            overlap=0.45, xor_fraction=0.15),
+    "s13207": CircuitProfile("s13207", 31, 121, 669, 7951, 2200,
+                             min_cone_width=7, max_cone_width=16,
+                             overlap=0.35, xor_fraction=0.10),
+    "s15850": CircuitProfile("s15850", 14, 87, 597, 9772, 2000,
+                             min_cone_width=6, max_cone_width=14,
+                             overlap=0.35, xor_fraction=0.10),
+}
+
+
+def profile(name: str) -> CircuitProfile:
+    try:
+        return ISCAS89_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ISCAS'89 profile {name!r}; available: "
+            f"{sorted(ISCAS89_PROFILES)}"
+        ) from None

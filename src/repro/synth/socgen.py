@@ -1,0 +1,221 @@
+"""Assembly of the paper's SOC1 and SOC2 experiment designs.
+
+Figures 4 and 5 of the paper define two SOCs built from ISCAS'89 cores.
+The inter-core wiring below is reconstructed from the figures' edge
+widths, which tie out exactly: SOC1's 51 chip inputs split 35/16 over
+s713 and s953, the three s1423 instances consume 17 nets each from the
+upstream cores' 46+5 outputs, and 5+5 outputs drive the 10 chip pins;
+SOC2's 14 chip inputs feed s15850, whose 87 outputs split 31/35/16/5
+over s13207, s5378, s953 and the chip pins, with all remaining core
+outputs (121+49+23) exposed for a 198-pin output total.
+
+A sparse layer of top-level inverters on the inter-core nets plays the
+role of the paper's top-level glue logic (tested stand-alone with a
+couple of patterns, 0 scan cells — Tables 1–2's "Core 0" rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Netlist
+from .profiles import ISCAS89_PROFILES, CircuitProfile
+
+# One top-level inverter every GLUE_STRIDE inter-core connections.
+GLUE_STRIDE = 6
+
+
+@dataclass(frozen=True)
+class Wire:
+    """One inter-core (or chip) connection in an SOC design."""
+
+    src_instance: str  # core instance name, or "chip" for a chip input
+    src_index: int  # output index of the source (input index for "chip")
+    dst_instance: str  # core instance name, or "chip" for a chip output
+    dst_index: int  # input index of the sink (output index for "chip")
+    inverted: bool = False  # routed through a top-level glue inverter
+
+
+@dataclass
+class SocDesign:
+    """A fully elaborated SOC experiment design."""
+
+    name: str
+    chip_inputs: int
+    chip_outputs: int
+    instances: List[Tuple[str, str]]  # (instance name, profile name), topo order
+    wires: List[Wire]
+    core_netlists: Dict[str, Netlist] = field(default_factory=dict)
+    monolithic: Optional[Netlist] = None
+    glue: Optional[Netlist] = None
+
+    def profile_of(self, instance: str) -> CircuitProfile:
+        for name, profile_name in self.instances:
+            if name == instance:
+                return ISCAS89_PROFILES[profile_name]
+        raise KeyError(f"no instance {instance!r} in design {self.name!r}")
+
+
+def _wire_range(
+    wires: List[Wire],
+    src: str,
+    src_start: int,
+    dst: str,
+    dst_start: int,
+    count: int,
+) -> None:
+    """Append ``count`` parallel wires; glue inverters every GLUE_STRIDE.
+
+    Chip-adjacent wires are never inverted — only inter-core nets carry
+    top-level glue, matching a "Core 0" that sits between cores.
+    """
+    for k in range(count):
+        inter_core = src != "chip" and dst != "chip"
+        wires.append(
+            Wire(
+                src_instance=src,
+                src_index=src_start + k,
+                dst_instance=dst,
+                dst_index=dst_start + k,
+                inverted=inter_core and (len(wires) % GLUE_STRIDE == 0),
+            )
+        )
+
+
+def soc1_design() -> SocDesign:
+    """SOC1 of Figure 4: s713, s953 and three s1423 instances."""
+    wires: List[Wire] = []
+    _wire_range(wires, "chip", 0, "Core1", 0, 35)
+    _wire_range(wires, "chip", 35, "Core2", 0, 16)
+    _wire_range(wires, "Core1", 0, "Core3", 0, 17)
+    _wire_range(wires, "Core1", 17, "Core4", 0, 6)
+    _wire_range(wires, "Core2", 0, "Core4", 6, 11)
+    _wire_range(wires, "Core2", 11, "Core5", 0, 12)
+    _wire_range(wires, "Core3", 0, "Core5", 12, 5)
+    _wire_range(wires, "Core4", 0, "chip", 0, 5)
+    _wire_range(wires, "Core5", 0, "chip", 5, 5)
+    return SocDesign(
+        name="SOC1",
+        chip_inputs=51,
+        chip_outputs=10,
+        instances=[
+            ("Core1", "s713"),
+            ("Core2", "s953"),
+            ("Core3", "s1423"),
+            ("Core4", "s1423"),
+            ("Core5", "s1423"),
+        ],
+        wires=wires,
+    )
+
+
+def soc2_design() -> SocDesign:
+    """SOC2 of Figure 5: s953, s5378, s13207 and s15850."""
+    wires: List[Wire] = []
+    _wire_range(wires, "chip", 0, "Core4", 0, 14)
+    _wire_range(wires, "Core4", 0, "Core3", 0, 31)
+    _wire_range(wires, "Core4", 31, "Core2", 0, 35)
+    _wire_range(wires, "Core4", 66, "Core1", 0, 16)
+    _wire_range(wires, "Core4", 82, "chip", 0, 5)
+    _wire_range(wires, "Core3", 0, "chip", 5, 121)
+    _wire_range(wires, "Core2", 0, "chip", 126, 49)
+    _wire_range(wires, "Core1", 0, "chip", 175, 23)
+    return SocDesign(
+        name="SOC2",
+        chip_inputs=14,
+        chip_outputs=198,
+        instances=[
+            ("Core4", "s15850"),
+            ("Core3", "s13207"),
+            ("Core2", "s5378"),
+            ("Core1", "s953"),
+        ],
+        wires=wires,
+    )
+
+
+def elaborate(design: SocDesign, seed: int = 0) -> SocDesign:
+    """Generate core netlists and build the monolithic and glue netlists.
+
+    Identical profiles share one generated netlist (same seed), which is
+    the paper's test-reuse situation: SOC1's three s1423 instances carry
+    the same stand-alone test.
+    """
+    generated: Dict[str, Netlist] = {}
+    for instance, profile_name in design.instances:
+        if profile_name not in generated:
+            profile = ISCAS89_PROFILES[profile_name]
+            generated[profile_name] = profile.generate(profile_name, seed=seed)
+        design.core_netlists[instance] = generated[profile_name]
+    design.monolithic = _build_monolithic(design)
+    design.glue = _build_glue(design)
+    return design
+
+
+def _build_monolithic(design: SocDesign) -> Netlist:
+    """Flatten cores plus wiring into the paper's monolithic design."""
+    flat = Netlist(f"{design.name}_mono")
+    for k in range(design.chip_inputs):
+        flat.add_input(f"pin_i{k}")
+
+    # Resolve the driving net of each core input / chip output.
+    drives: Dict[Tuple[str, int], Wire] = {}
+    for wire in design.wires:
+        key = (wire.dst_instance, wire.dst_index)
+        if key in drives:
+            raise ValueError(f"{design.name}: {key} driven twice")
+        drives[key] = wire
+
+    rename_maps: Dict[str, Dict[str, str]] = {}
+
+    def source_net(wire: Wire) -> str:
+        if wire.src_instance == "chip":
+            net = f"pin_i{wire.src_index}"
+        else:
+            src_netlist = design.core_netlists[wire.src_instance]
+            out_net = src_netlist.outputs[wire.src_index]
+            net = rename_maps[wire.src_instance][out_net]
+        if wire.inverted:
+            glue_net = (
+                f"glue_{wire.dst_instance}_{wire.dst_index}"
+                if wire.dst_instance != "chip"
+                else f"glue_chip_{wire.dst_index}"
+            )
+            flat.add_gate(GateType.NOT, glue_net, [net])
+            return glue_net
+        return net
+
+    for instance, _profile in design.instances:
+        core = design.core_netlists[instance]
+        connections = {}
+        for index, input_net in enumerate(core.inputs):
+            wire = drives.get((instance, index))
+            if wire is not None:
+                connections[input_net] = source_net(wire)
+        rename_maps[instance] = flat.merge(core, prefix=f"{instance}_", connections=connections)
+
+    for index in range(design.chip_outputs):
+        wire = drives.get(("chip", index))
+        if wire is None:
+            raise ValueError(f"{design.name}: chip output {index} undriven")
+        flat.mark_output(source_net(wire))
+    flat.validate()
+    return flat
+
+
+def _build_glue(design: SocDesign) -> Netlist:
+    """The top-level glue logic (the inverters) as a stand-alone netlist."""
+    glue = Netlist(f"{design.name}_top")
+    count = 0
+    for wire in design.wires:
+        if wire.inverted:
+            in_net = f"t{count}_in"
+            out_net = f"t{count}_out"
+            glue.add_input(in_net)
+            glue.add_gate(GateType.NOT, out_net, [in_net])
+            glue.mark_output(out_net)
+            count += 1
+    glue.validate()
+    return glue

@@ -1,0 +1,88 @@
+"""TAM and wrapper-design substrate (the paper's scoped-out dimension)."""
+
+from .abort_on_fail import (
+    AbortOnFailStudy,
+    FailProbability,
+    expected_abort_time,
+    order_abort_aware,
+    order_shortest_first,
+    study,
+)
+from .cooptimization import (
+    CoOptimizationResult,
+    ParetoPoint,
+    cooptimize,
+    pareto_widths,
+    time_volume_tradeoff,
+    width_saturation,
+)
+from .power import (
+    CorePower,
+    default_power_model,
+    peak_power,
+    schedule_power_constrained,
+    verify_power,
+)
+from .architectures import (
+    ArchitectureResult,
+    CoreTestSpec,
+    compare_architectures,
+    core_specs_from_soc,
+    daisychain_architecture,
+    distribution_architecture,
+    multiplexing_architecture,
+)
+from .idle_bits import IdleBitReport, idle_bit_report, idle_bit_sweep, useful_bits_check
+from .scheduling import (
+    Schedule,
+    ScheduledTest,
+    schedule_greedy,
+    schedule_serial,
+    schedule_summary,
+)
+from .wrapper_design import (
+    WrapperChain,
+    WrapperDesign,
+    balanced_chain_lengths,
+    design_wrapper,
+)
+
+__all__ = [
+    "AbortOnFailStudy",
+    "ArchitectureResult",
+    "FailProbability",
+    "CoOptimizationResult",
+    "CorePower",
+    "ParetoPoint",
+    "CoreTestSpec",
+    "IdleBitReport",
+    "Schedule",
+    "ScheduledTest",
+    "WrapperChain",
+    "WrapperDesign",
+    "balanced_chain_lengths",
+    "compare_architectures",
+    "cooptimize",
+    "core_specs_from_soc",
+    "daisychain_architecture",
+    "default_power_model",
+    "design_wrapper",
+    "distribution_architecture",
+    "expected_abort_time",
+    "idle_bit_report",
+    "idle_bit_sweep",
+    "multiplexing_architecture",
+    "order_abort_aware",
+    "order_shortest_first",
+    "pareto_widths",
+    "peak_power",
+    "schedule_greedy",
+    "schedule_power_constrained",
+    "schedule_serial",
+    "schedule_summary",
+    "study",
+    "time_volume_tradeoff",
+    "useful_bits_check",
+    "verify_power",
+    "width_saturation",
+]

@@ -1,0 +1,118 @@
+"""SOC test scheduling over a shared TAM budget.
+
+A light rectangle-packing scheduler in the style of the wrapper/TAM
+co-optimization literature (Iyengar, Chakrabarty & Marinissen, DATE
+2002): each core's test is a rectangle (TAM wires x cycles); the
+scheduler assigns each core a width and a start time so concurrent
+tests never exceed the total width, minimizing makespan greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .architectures import CoreTestSpec, _wrapper
+
+
+@dataclass(frozen=True)
+class ScheduledTest:
+    """One core's slot in the session schedule."""
+
+    core: str
+    width: int
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Schedule:
+    """A complete SOC test schedule."""
+
+    tam_width: int
+    tests: List[ScheduledTest]
+
+    @property
+    def makespan(self) -> int:
+        return max((test.end for test in self.tests), default=0)
+
+    def utilization(self) -> float:
+        """Occupied wire-cycles over the full width x makespan rectangle."""
+        if not self.tests or self.makespan == 0:
+            return 0.0
+        used = sum(test.width * test.duration for test in self.tests)
+        return used / (self.tam_width * self.makespan)
+
+    def verify(self) -> None:
+        """Assert the width budget is respected at every instant."""
+        events: List[Tuple[int, int]] = []
+        for test in self.tests:
+            events.append((test.start, test.width))
+            events.append((test.end, -test.width))
+        events.sort()
+        active = 0
+        for _time, delta in events:
+            active += delta
+            if active > self.tam_width:
+                raise AssertionError(
+                    f"TAM width {self.tam_width} exceeded ({active} wires in use)"
+                )
+
+
+def schedule_serial(specs: Sequence[CoreTestSpec], tam_width: int) -> Schedule:
+    """All cores full-width, back to back (Multiplexing architecture)."""
+    tests = []
+    clock = 0
+    for spec in specs:
+        duration = _wrapper(spec, tam_width).test_time_cycles(spec.patterns)
+        tests.append(ScheduledTest(spec.name, tam_width, clock, clock + duration))
+        clock += duration
+    return Schedule(tam_width=tam_width, tests=tests)
+
+
+def schedule_greedy(
+    specs: Sequence[CoreTestSpec],
+    tam_width: int,
+    preferred_width: int = 4,
+) -> Schedule:
+    """Concurrent scheduling: longest tests first, first idle wires win.
+
+    Each core gets ``min(preferred_width, tam_width)`` wires; cores are
+    placed longest-first at the earliest time where enough wires are
+    simultaneously free — a shelf-style heuristic that is simple,
+    deterministic, and respects the width budget exactly.
+    """
+    width = min(preferred_width, tam_width)
+    if width < 1:
+        raise ValueError("preferred_width must be >= 1")
+    durations = {
+        spec.name: _wrapper(spec, width).test_time_cycles(spec.patterns)
+        for spec in specs
+    }
+    ordered = sorted(specs, key=lambda s: -durations[s.name])
+    # Track per-wire next-free time; a test takes the `width` wires that
+    # free up earliest and starts when the last of them is free.
+    wire_free = [0] * tam_width
+    tests = []
+    for spec in ordered:
+        wires = sorted(range(tam_width), key=wire_free.__getitem__)[:width]
+        start = max(wire_free[w] for w in wires)
+        end = start + durations[spec.name]
+        for w in wires:
+            wire_free[w] = end
+        tests.append(ScheduledTest(spec.name, width, start, end))
+    schedule = Schedule(tam_width=tam_width, tests=tests)
+    schedule.verify()
+    return schedule
+
+
+def schedule_summary(schedule: Schedule) -> Dict[str, float]:
+    return {
+        "makespan": float(schedule.makespan),
+        "utilization": schedule.utilization(),
+        "tests": float(len(schedule.tests)),
+    }

@@ -1,0 +1,133 @@
+"""Wrapper scan-chain design (IEEE 1500 wrapper optimization).
+
+Given a core's internal scan chains and its wrapper input/output cells,
+build ``w`` wrapper chains (one per TAM wire) whose scan-in/scan-out
+lengths are balanced — the classic LPT-based heuristic of Marinissen et
+al. (ITC 2000) / Goel & Marinissen.  The resulting per-pattern shift
+length drives both test time and the *idle bits* that the paper's
+Section 3 excludes from its comparative analysis and that
+:mod:`repro.tam.idle_bits` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class WrapperChain:
+    """One wrapper chain: input cells, then scan chains, then output cells."""
+
+    input_cells: int = 0
+    scan_chains: List[int] = field(default_factory=list)
+
+    output_cells: int = 0
+
+    @property
+    def scan_length(self) -> int:
+        return sum(self.scan_chains)
+
+    @property
+    def scan_in_length(self) -> int:
+        """Cells on the stimulus path: input cells plus internal scan."""
+        return self.input_cells + self.scan_length
+
+    @property
+    def scan_out_length(self) -> int:
+        """Cells on the response path: internal scan plus output cells."""
+        return self.scan_length + self.output_cells
+
+
+@dataclass
+class WrapperDesign:
+    """A core's wrapper partitioned over ``tam_width`` chains."""
+
+    core_name: str
+    tam_width: int
+    chains: List[WrapperChain]
+
+    @property
+    def max_scan_in(self) -> int:
+        return max(chain.scan_in_length for chain in self.chains)
+
+    @property
+    def max_scan_out(self) -> int:
+        return max(chain.scan_out_length for chain in self.chains)
+
+    def test_time_cycles(self, patterns: int) -> int:
+        """Shift-dominated test time (Goel & Marinissen's formula).
+
+        ``(1 + max(si, so)) * p + min(si, so)`` cycles: each pattern
+        needs a load overlapped with the previous unload, plus one
+        capture cycle, plus a final unload.
+        """
+        si, so = self.max_scan_in, self.max_scan_out
+        return (1 + max(si, so)) * patterns + min(si, so)
+
+    def useful_bits_per_pattern(self) -> int:
+        """Care-capable bits per pattern: every cell once in, once out."""
+        return sum(
+            chain.scan_in_length + chain.scan_out_length for chain in self.chains
+        )
+
+    def shifted_bits_per_pattern(self) -> int:
+        """Actually shifted bits per pattern when chains run in lockstep.
+
+        All ``tam_width`` wires shift for ``max(si, so)`` cycles in and
+        the same out, so shorter chains carry padding.
+        """
+        return self.tam_width * (self.max_scan_in + self.max_scan_out)
+
+    def idle_bits_per_pattern(self) -> int:
+        return self.shifted_bits_per_pattern() - self.useful_bits_per_pattern()
+
+
+def design_wrapper(
+    core_name: str,
+    scan_chains: Sequence[int],
+    input_cells: int,
+    output_cells: int,
+    tam_width: int,
+) -> WrapperDesign:
+    """Partition scan chains and wrapper cells over ``tam_width`` wires.
+
+    Internal scan chains are assigned longest-processing-time-first to
+    the currently shortest wrapper chain; wrapper input (output) cells
+    are then spread to equalize scan-in (scan-out) lengths.  Fixed-length
+    internal chains are not split, mirroring real wrapper design rules.
+    """
+    if tam_width < 1:
+        raise ValueError(f"tam_width must be >= 1, got {tam_width}")
+    chains = [WrapperChain() for _ in range(tam_width)]
+    for length in sorted(scan_chains, reverse=True):
+        if length < 0:
+            raise ValueError("scan chain lengths must be >= 0")
+        shortest = min(chains, key=lambda c: c.scan_length)
+        shortest.scan_chains.append(length)
+    _spread_cells(chains, input_cells, attr="input_cells", key=lambda c: c.scan_in_length)
+    _spread_cells(chains, output_cells, attr="output_cells", key=lambda c: c.scan_out_length)
+    return WrapperDesign(core_name=core_name, tam_width=tam_width, chains=chains)
+
+
+def _spread_cells(chains: List[WrapperChain], cells: int, attr: str, key) -> None:
+    """Greedy one-by-one assignment of wrapper cells to the shortest chain.
+
+    Wrapper cells are single registers, so unlike internal chains they
+    can be distributed freely; one-at-a-time to the current minimum is
+    optimal for the bottleneck length.
+    """
+    if cells < 0:
+        raise ValueError("cell counts must be >= 0")
+    for _ in range(cells):
+        shortest = min(chains, key=key)
+        setattr(shortest, attr, getattr(shortest, attr) + 1)
+
+
+def balanced_chain_lengths(total_cells: int, chain_count: int) -> List[int]:
+    """The paper's "perfectly balanced" internal-chain assumption."""
+    if chain_count < 1:
+        raise ValueError("chain_count must be >= 1")
+    base = total_cells // chain_count
+    extra = total_cells % chain_count
+    return [base + (1 if i < extra else 0) for i in range(chain_count)]

@@ -1,0 +1,105 @@
+"""Unit tests for abort-on-fail ordering (repro.tam.abort_on_fail)."""
+
+import itertools
+
+import pytest
+
+from repro.tam import (
+    CoreTestSpec,
+    FailProbability,
+    expected_abort_time,
+    order_abort_aware,
+    order_shortest_first,
+    study,
+)
+from repro.tam.architectures import _wrapper
+
+
+@pytest.fixture
+def specs():
+    return [
+        CoreTestSpec("quick_flaky", [10], 2, 2, patterns=20),
+        CoreTestSpec("slow_solid", [400], 30, 30, patterns=500),
+        CoreTestSpec("mid", [100, 100], 10, 10, patterns=100),
+    ]
+
+
+@pytest.fixture
+def probabilities():
+    return {"quick_flaky": 0.30, "slow_solid": 0.01, "mid": 0.05}
+
+
+class TestExpectation:
+    def test_zero_probabilities_give_full_pass_time(self, specs):
+        zero = {spec.name: 0.0 for spec in specs}
+        total = sum(
+            _wrapper(spec, 4).test_time_cycles(spec.patterns) for spec in specs
+        )
+        assert expected_abort_time(specs, zero, 4) == pytest.approx(total)
+
+    def test_certain_first_fail_costs_only_first_test(self, specs):
+        certain = {spec.name: 1.0 for spec in specs}
+        first = _wrapper(specs[0], 4).test_time_cycles(specs[0].patterns)
+        assert expected_abort_time(specs, certain, 4) == pytest.approx(first)
+
+    def test_expectation_below_pass_time_with_any_fail_chance(
+        self, specs, probabilities
+    ):
+        total = sum(
+            _wrapper(spec, 4).test_time_cycles(spec.patterns) for spec in specs
+        )
+        assert expected_abort_time(specs, probabilities, 4) < total
+
+
+class TestOrdering:
+    def test_ratio_ordering_is_exchange_optimal(self, specs, probabilities):
+        """The p/t ordering must beat or match every permutation."""
+        best = expected_abort_time(
+            order_abort_aware(specs, probabilities, 4), probabilities, 4
+        )
+        for perm in itertools.permutations(specs):
+            assert best <= expected_abort_time(list(perm), probabilities, 4) + 1e-9
+
+    def test_flaky_quick_core_goes_first(self, specs, probabilities):
+        ordered = order_abort_aware(specs, probabilities, 4)
+        assert ordered[0].name == "quick_flaky"
+
+    def test_shortest_first_ignores_probabilities(self, specs):
+        ordered = order_shortest_first(specs, 4)
+        times = [
+            _wrapper(spec, 4).test_time_cycles(spec.patterns) for spec in ordered
+        ]
+        assert times == sorted(times)
+
+
+class TestStudy:
+    def test_optimized_never_worse(self, specs, probabilities):
+        result = study(specs, probabilities, tam_width=4)
+        assert result.expected_optimized <= result.expected_naive + 1e-9
+        assert 0.0 <= result.improvement < 1.0
+        assert result.pass_time >= result.expected_naive
+
+    def test_missing_probability_rejected(self, specs):
+        with pytest.raises(KeyError, match="mid"):
+            study(specs, {"quick_flaky": 0.1, "slow_solid": 0.1})
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FailProbability("x", 1.5)
+        with pytest.raises(ValueError):
+            FailProbability("x", -0.1)
+
+    def test_on_benchmark_soc(self):
+        """Plausible yield numbers on d695: the reordering helps."""
+        from repro.itc02 import load
+        from repro.tam import core_specs_from_soc
+
+        specs = core_specs_from_soc(load("d695"))
+        # Bigger cores fail more often (area-proportional defect model).
+        biggest = max(sum(spec.scan_chains) for spec in specs)
+        probabilities = {
+            spec.name: 0.02 + 0.2 * sum(spec.scan_chains) / biggest
+            for spec in specs
+        }
+        result = study(specs, probabilities, tam_width=8)
+        assert result.expected_optimized <= result.expected_naive

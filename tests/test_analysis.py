@@ -1,0 +1,125 @@
+"""Unit tests for the variation statistics (repro.core.analysis)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    analyze,
+    normalized_stdev,
+    pattern_count_variation,
+    pearson_correlation,
+    pessimism_factor,
+    rank_by_reduction,
+    reduction_variation_correlation,
+    stdev,
+)
+from repro.core.analysis import mean
+from repro.soc import Core, Soc
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_stdev_matches_manual(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        manual = math.sqrt(sum((v - 5.0) ** 2 for v in values) / 7)
+        assert stdev(values) == pytest.approx(manual)
+
+    def test_population_stdev(self):
+        assert stdev([2.0, 4.0], ddof=0) == pytest.approx(1.0)
+
+    def test_stdev_needs_enough_values(self):
+        with pytest.raises(ValueError):
+            stdev([1.0], ddof=1)
+
+    def test_normalized_stdev_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_stdev([0, 0, 0])
+
+    def test_paper_g12710_normalized_stdev(self):
+        """The paper's 0.18 for g12710 pins the ddof=1 convention."""
+        counts = [852, 1314, 1223, 1223]
+        assert round(normalized_stdev(counts), 2) == 0.18
+        assert round(normalized_stdev(counts, ddof=0), 2) != 0.18
+
+    def test_paper_d695_normalized_stdev(self):
+        counts = [12, 73, 75, 105, 110, 234, 95, 97, 12, 68]
+        assert round(normalized_stdev(counts), 2) == 0.70
+
+
+class TestPatternVariation:
+    def test_excludes_top_by_default(self, flat_soc):
+        expected = normalized_stdev([50, 200, 20])
+        assert pattern_count_variation(flat_soc) == pytest.approx(expected)
+
+    def test_include_top(self, flat_soc):
+        expected = normalized_stdev([2, 50, 200, 20])
+        assert pattern_count_variation(flat_soc, include_top=True) == (
+            pytest.approx(expected)
+        )
+
+    def test_single_core_soc_has_zero_variation(self):
+        soc = Soc("s", [Core("top", patterns=1, children=["a"]),
+                        Core("a", patterns=5)], top="top")
+        assert pattern_count_variation(soc) == 0.0
+
+
+class TestPessimism:
+    def test_factor(self, flat_soc):
+        assert pessimism_factor(500, flat_soc) == 2.5
+
+    def test_below_bound_rejected(self, flat_soc):
+        with pytest.raises(ValueError, match="Eq. 2"):
+            pessimism_factor(100, flat_soc)
+
+    def test_zero_pattern_soc_rejected(self):
+        soc = Soc("s", [Core("a", patterns=0)])
+        with pytest.raises(ValueError):
+            pessimism_factor(5, soc)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 1, 1], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+
+class TestSocLevel:
+    def test_analyze_bundles_summary_and_variation(self, flat_soc):
+        analysis = analyze(flat_soc)
+        assert analysis.summary.soc_name == "flat3"
+        assert analysis.pattern_variation == pytest.approx(
+            pattern_count_variation(flat_soc)
+        )
+        assert analysis.reduction_percent == pytest.approx(
+            100.0 * analysis.summary.modular_change_fraction
+        )
+
+    def test_rank_by_reduction_orders_most_reduced_first(self, flat_soc, hier_soc):
+        ranked = rank_by_reduction([flat_soc, hier_soc])
+        changes = [a.summary.modular_change_fraction for a in ranked]
+        assert changes == sorted(changes)
+
+    def test_reduction_variation_correlation_runs(self, flat_soc, hier_soc):
+        value = reduction_variation_correlation([flat_soc, hier_soc])
+        assert -1.0 <= value <= 1.0

@@ -1,0 +1,152 @@
+"""Unit tests for the calibrated-reconstruction solver (repro.itc02.calibrate)."""
+
+import pytest
+
+from repro.core import normalized_stdev, summarize
+from repro.itc02 import (
+    CalibrationError,
+    CalibrationHints,
+    CalibrationTarget,
+    auto_hints,
+    calibrate,
+    generate_pattern_counts,
+)
+from repro.itc02.paper_tables import TABLE4_BY_NAME
+
+
+def simple_target() -> CalibrationTarget:
+    """A self-consistent synthetic target (built from a known SOC)."""
+    from repro.soc import Core, Soc
+
+    soc = Soc(
+        "t",
+        [
+            Core("top", inputs=32, outputs=32, patterns=0,
+                 children=["c1", "c2", "c3"]),
+            Core("c1", inputs=20, outputs=20, scan_cells=900, patterns=100),
+            Core("c2", inputs=30, outputs=30, scan_cells=500, patterns=400),
+            Core("c3", inputs=25, outputs=25, scan_cells=600, patterns=40),
+        ],
+        top="top",
+    )
+    summary = summarize(soc)
+    return CalibrationTarget(
+        soc="t",
+        cores=3,
+        norm_stdev=normalized_stdev([100, 400, 40]),
+        tdv_opt_mono=summary.tdv_monolithic,
+        tdv_penalty=summary.tdv_penalty,
+        tdv_benefit=summary.tdv_benefit,
+        tdv_modular=summary.tdv_modular,
+    )
+
+
+class TestGeneratePatternCounts:
+    def test_max_is_exact(self):
+        counts = generate_pattern_counts(10, 500, 0.8)
+        assert max(counts) == 500
+
+    def test_norm_stdev_close(self):
+        counts = generate_pattern_counts(12, 1000, 1.1)
+        assert normalized_stdev(counts) == pytest.approx(1.1, abs=0.02)
+
+    def test_clamp_gives_unit_gap(self):
+        counts = generate_pattern_counts(8, 300, 0.5)
+        assert 299 in counts
+
+    def test_clamp_dropped_when_spread_needs_it(self):
+        # 1.95 with 7 cores is unreachable with the second pinned at max-1.
+        counts = generate_pattern_counts(7, 100000, 1.95)
+        assert normalized_stdev(counts) == pytest.approx(1.95, abs=0.05)
+
+    def test_unreachable_spread_rejected(self):
+        with pytest.raises(CalibrationError, match="saturates"):
+            generate_pattern_counts(4, 1000, 5.0)
+
+    def test_too_few_cores_rejected(self):
+        with pytest.raises(CalibrationError):
+            generate_pattern_counts(1, 100, 0.5)
+
+    def test_all_counts_positive(self):
+        counts = generate_pattern_counts(20, 10000, 2.5)
+        assert all(count >= 1 for count in counts)
+
+
+class TestCalibrate:
+    def test_round_trip_on_self_consistent_target(self):
+        target = simple_target()
+        result = calibrate(
+            target, CalibrationHints(max_patterns=400, chip_io=64)
+        )
+        for key in ("tdv_opt_mono", "tdv_penalty", "tdv_benefit", "tdv_modular"):
+            assert abs(result.relative_errors[key]) < 1e-3, key
+        # The 3-point pattern family is too coarse for tighter stdev.
+        assert abs(result.relative_errors["norm_stdev"]) < 1e-2
+
+    def test_core_count_matches(self):
+        target = simple_target()
+        result = calibrate(target, CalibrationHints(max_patterns=400, chip_io=64))
+        assert len(result.soc) == target.cores + 1  # plus the top core
+
+    def test_soc_is_structurally_valid(self):
+        target = simple_target()
+        result = calibrate(target, CalibrationHints(max_patterns=400, chip_io=64))
+        soc = result.soc
+        assert soc.top.children == [c.name for c in soc if c.name != soc.top_name]
+        assert soc.top.scan_cells == 0
+
+    def test_pinned_pattern_counts_survive(self):
+        target = simple_target()
+        hints = CalibrationHints(
+            max_patterns=400, chip_io=64, pattern_counts=[100, 400, 40]
+        )
+        result = calibrate(target, hints)
+        counts = sorted(
+            core.patterns for core in result.soc if core.name != result.soc.top_name
+        )
+        assert counts == [40, 100, 400]
+
+    def test_wrong_pin_count_rejected(self):
+        target = simple_target()
+        hints = CalibrationHints(max_patterns=400, pattern_counts=[1, 2])
+        with pytest.raises(CalibrationError, match="pinned"):
+            calibrate(target, hints)
+
+    def test_oversized_chip_io_rejected(self):
+        target = simple_target()
+        with pytest.raises(CalibrationError):
+            calibrate(target, CalibrationHints(max_patterns=400, chip_io=10**9))
+
+    def test_deterministic(self):
+        target = simple_target()
+        hints = CalibrationHints(max_patterns=400, chip_io=64)
+        first = calibrate(target, hints)
+        second = calibrate(target, hints)
+        assert [
+            (c.name, c.inputs, c.outputs, c.scan_cells, c.patterns)
+            for c in first.soc
+        ] == [
+            (c.name, c.inputs, c.outputs, c.scan_cells, c.patterns)
+            for c in second.soc
+        ]
+
+
+class TestAutoHints:
+    @pytest.mark.parametrize("name", ["h953", "g1023", "t512505"])
+    def test_published_rows_calibrate_tightly(self, name):
+        target = CalibrationTarget.from_table4(TABLE4_BY_NAME[name])
+        hints = auto_hints(target)
+        result = calibrate(target, hints)
+        for key in ("tdv_opt_mono", "tdv_penalty", "tdv_benefit"):
+            assert abs(result.relative_errors[key]) < 5e-4, key
+
+    def test_p22810_modular_column_is_paper_typo(self):
+        """opt/pen/ben match exactly; the printed modular value is
+        600,000 off from the row's own identity (DESIGN.md)."""
+        target = CalibrationTarget.from_table4(TABLE4_BY_NAME["p22810"])
+        result = calibrate(target, auto_hints(target))
+        assert abs(result.relative_errors["tdv_opt_mono"]) < 1e-6
+        assert abs(result.relative_errors["tdv_penalty"]) < 1e-6
+        assert abs(result.relative_errors["tdv_benefit"]) < 1e-6
+        achieved_modular = summarize(result.soc).tdv_modular
+        assert achieved_modular == pytest.approx(14_216_570, rel=5e-5)

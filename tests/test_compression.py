@@ -1,0 +1,100 @@
+"""Unit tests for stimulus compression (repro.atpg.compression)."""
+
+import random
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    Podem,
+    TestSet,
+    care_position_bits,
+    collapse_faults,
+    compress_streams,
+    pattern_streams,
+    run_length_bits,
+    run_length_decode,
+    run_length_encode,
+)
+
+
+class TestRunLength:
+    def test_round_trip_on_binary_stream(self):
+        rng = random.Random(1)
+        stream = [rng.getrandbits(1) for _ in range(500)]
+        assert run_length_decode(run_length_encode(stream)) == stream
+
+    def test_x_bits_join_previous_run(self):
+        tokens = run_length_encode([1, None, None, 1, 0])
+        assert tokens == [(1, 4), (0, 1)]
+
+    def test_leading_x_defaults_to_zero(self):
+        tokens = run_length_encode([None, None, 1])
+        assert tokens == [(0, 2), (1, 1)]
+
+    def test_empty_stream(self):
+        assert run_length_encode([]) == []
+        assert run_length_bits([]) == 0
+
+    def test_constant_stream_compresses_hard(self):
+        stream = [0] * 1000
+        assert run_length_bits(stream) < 50
+
+    def test_alternating_stream_expands(self):
+        stream = [k % 2 for k in range(100)]
+        assert run_length_bits(stream) > 100
+
+    def test_long_runs_split_by_field_width(self):
+        stream = [1] * 600
+        bits_8 = run_length_bits(stream, run_field_bits=8)
+        bits_4 = run_length_bits(stream, run_field_bits=4)
+        assert bits_8 == 3 * 9  # 600 = 255 + 255 + 90
+        assert bits_4 == 40 * 5  # ceil(600 / 15) tokens
+
+
+class TestCarePosition:
+    def test_cost_tracks_care_bits_not_length(self):
+        sparse = [None] * 1023 + [1]
+        dense = [1] * 1024
+        assert care_position_bits(sparse) < care_position_bits(dense)
+
+    def test_empty(self):
+        assert care_position_bits([]) == 0
+
+    def test_all_x_costs_only_the_count_field(self):
+        stream = [None] * 256
+        assert care_position_bits(stream) == 8
+
+
+class TestModularCompressionStory:
+    def test_partial_patterns_compress_better_than_filled(self, c17):
+        """X-rich PODEM patterns (pre-fill) compress far better than
+        random-filled delivery patterns — the care-bit-density argument
+        for why compression compounds the modular benefit."""
+        circuit = CompiledCircuit(c17)
+        podem = Podem(circuit)
+        partial = TestSet("c17")
+        for fault in collapse_faults(circuit):
+            outcome = podem.generate(fault)
+            if outcome.pattern is not None:
+                partial.add(outcome.pattern)
+        filled = partial.filled(circuit, seed=0)
+
+        partial_report = compress_streams(
+            "partial", pattern_streams(circuit, partial)
+        )
+        filled_report = compress_streams(
+            "filled", pattern_streams(circuit, filled)
+        )
+        assert partial_report.flat_bits == filled_report.flat_bits
+        assert partial_report.care_position < filled_report.care_position
+        assert partial_report.care_position_ratio > (
+            filled_report.care_position_ratio
+        )
+
+    def test_report_fields(self, c17):
+        circuit = CompiledCircuit(c17)
+        report = compress_streams("x", [[0, 0, 1, 1, None, None]])
+        assert report.flat_bits == 6
+        assert report.run_length > 0
+        assert report.run_length_ratio == pytest.approx(6 / report.run_length)

@@ -1,0 +1,111 @@
+"""Unit tests for logic-cone extraction (repro.circuit.cones)."""
+
+import pytest
+
+from repro.circuit import (
+    GateType,
+    Netlist,
+    cone_width_stats,
+    disjoint_cone_groups,
+    extract_cones,
+    overlap_fraction,
+    overlap_matrix,
+)
+
+
+def disjoint_pair() -> Netlist:
+    """Two cones with no shared inputs (Figure 1(a) regime)."""
+    netlist = Netlist("disjoint")
+    for net in ("a", "b", "c", "d"):
+        netlist.add_input(net)
+    netlist.add_gate(GateType.AND, "x", ["a", "b"])
+    netlist.add_gate(GateType.OR, "y", ["c", "d"])
+    netlist.mark_output("x")
+    netlist.mark_output("y")
+    return netlist
+
+
+class TestExtract:
+    def test_c17_cone_structure(self, c17):
+        cones = {cone.output: cone for cone in extract_cones(c17)}
+        assert set(cones) == {"G22", "G23"}
+        assert cones["G22"].inputs == frozenset({"G1", "G2", "G3", "G6"})
+        assert cones["G23"].inputs == frozenset({"G2", "G3", "G6", "G7"})
+        assert set(cones["G22"].gates) == {"G10", "G11", "G16", "G22"}
+
+    def test_c17_depths(self, c17):
+        cones = {cone.output: cone for cone in extract_cones(c17)}
+        assert cones["G22"].depth == 3  # G3 -> G11 -> G16 -> G22
+
+    def test_ff_d_nets_are_cone_outputs(self, seq_netlist):
+        outputs = [cone.output for cone in extract_cones(seq_netlist)]
+        assert outputs == ["Z", "NS"]
+
+    def test_ff_outputs_are_cone_inputs(self, seq_netlist):
+        cones = {cone.output: cone for cone in extract_cones(seq_netlist)}
+        assert "S" in cones["NS"].inputs
+
+    def test_width_and_size(self, c17):
+        cone = next(c for c in extract_cones(c17) if c.output == "G22")
+        assert cone.width == 4
+        assert cone.size == 4
+
+    def test_feedthrough_cone_has_no_gates(self):
+        netlist = Netlist("ft")
+        netlist.add_input("a")
+        netlist.mark_output("a")
+        cones = extract_cones(netlist)
+        assert cones[0].gates == ()
+        assert cones[0].inputs == frozenset({"a"})
+        assert cones[0].depth == 0
+
+
+class TestOverlap:
+    def test_c17_cones_overlap(self, c17):
+        cones = extract_cones(c17)
+        assert overlap_fraction(cones) == 1.0
+        matrix = overlap_matrix(cones)
+        assert matrix[0][1] == 3  # shared G2, G3, G6
+        assert matrix[0][0] == 0
+
+    def test_disjoint_cones(self):
+        cones = extract_cones(disjoint_pair())
+        assert overlap_fraction(cones) == 0.0
+        assert overlap_matrix(cones)[0][1] == 0
+
+    def test_single_cone_has_zero_overlap(self):
+        netlist = Netlist("one")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(GateType.AND, "z", ["a", "b"])
+        netlist.mark_output("z")
+        assert overlap_fraction(extract_cones(netlist)) == 0.0
+
+    def test_generator_overlap_knob_moves_measured_overlap(self):
+        from repro.synth import GeneratorSpec, generate_circuit
+
+        def measured(overlap: float) -> float:
+            spec = GeneratorSpec(
+                name=f"o{overlap}", inputs=40, outputs=8, target_gates=100,
+                min_cone_width=4, max_cone_width=5, overlap=overlap, seed=2,
+            )
+            return overlap_fraction(extract_cones(generate_circuit(spec)))
+
+        assert measured(0.0) < measured(1.0)
+
+
+class TestGroupsAndStats:
+    def test_disjoint_groups(self):
+        groups = disjoint_cone_groups(extract_cones(disjoint_pair()))
+        assert len(groups) == 2
+
+    def test_overlapping_cones_form_one_group(self, c17):
+        assert len(disjoint_cone_groups(extract_cones(c17))) == 1
+
+    def test_width_stats(self, c17):
+        stats = cone_width_stats(extract_cones(c17))
+        assert stats == {"min": 4.0, "mean": 4.0, "max": 4.0}
+
+    def test_width_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cone_width_stats([])

@@ -1,0 +1,130 @@
+"""Unit tests for wrapper/TAM co-optimization and power scheduling."""
+
+import pytest
+
+from repro.tam import (
+    CoreTestSpec,
+    cooptimize,
+    default_power_model,
+    pareto_widths,
+    peak_power,
+    schedule_greedy,
+    schedule_power_constrained,
+    time_volume_tradeoff,
+    verify_power,
+    width_saturation,
+)
+
+
+@pytest.fixture
+def specs():
+    return [
+        CoreTestSpec("a", [50, 50], 10, 10, patterns=100),
+        CoreTestSpec("b", [200], 20, 30, patterns=40),
+        CoreTestSpec("c", [10, 10, 10], 5, 5, patterns=300),
+        CoreTestSpec("d", [80, 40, 40], 15, 15, patterns=120),
+    ]
+
+
+class TestPareto:
+    def test_times_strictly_decrease(self, specs):
+        points = pareto_widths(specs[0], max_width=16)
+        times = [p.test_time_cycles for p in points]
+        assert times == sorted(times, reverse=True)
+        assert len(set(times)) == len(times)
+
+    def test_width_one_always_present(self, specs):
+        for spec in specs:
+            assert pareto_widths(spec, 8)[0].width == 1
+
+    def test_saturation_at_longest_chain(self):
+        """With one dominant chain, width 2 isolates it; more wires
+        cannot help the scan part (only cell redistribution remains)."""
+        spec = CoreTestSpec("x", [100, 5, 5], 0, 0, patterns=10)
+        saturation = width_saturation(spec, max_width=32)
+        assert saturation <= 3
+
+    def test_invalid_width_rejected(self, specs):
+        with pytest.raises(ValueError):
+            pareto_widths(specs[0], 0)
+
+
+class TestCooptimize:
+    def test_beats_or_matches_fixed_width(self, specs):
+        result = cooptimize(specs, tam_width=12)
+        for width in (1, 2, 4, 8):
+            fixed = schedule_greedy(specs, 12, preferred_width=width)
+            assert result.makespan <= fixed.makespan
+
+    def test_schedule_is_valid(self, specs):
+        result = cooptimize(specs, tam_width=12)
+        result.schedule.verify()
+        assert set(result.assigned_widths) == {"a", "b", "c", "d"}
+
+    def test_no_cores_rejected(self):
+        with pytest.raises(ValueError, match="no cores"):
+            cooptimize([], tam_width=4)
+
+    def test_no_feasible_candidate_rejected(self, specs):
+        with pytest.raises(ValueError, match="no candidate"):
+            cooptimize(specs, tam_width=4, candidate_widths=(8, 16))
+
+    def test_tradeoff_time_falls_volume_rises(self, specs):
+        points = time_volume_tradeoff(specs, tam_widths=[2, 4, 8, 16])
+        times = [p[1] for p in points]
+        volumes = [p[2] for p in points]
+        assert times == sorted(times, reverse=True)
+        assert volumes == sorted(volumes)
+
+
+class TestPowerScheduling:
+    def test_budget_respected(self, specs):
+        power = default_power_model(specs)
+        budget = max(power.values()) * 1.5
+        schedule = schedule_power_constrained(specs, 16, budget, power)
+        verify_power(schedule, power, budget)
+        assert peak_power(schedule, power) <= budget
+
+    def test_tight_budget_serializes(self, specs):
+        """A budget fitting exactly one core at a time forbids overlap."""
+        power = {spec.name: 100.0 for spec in specs}
+        schedule = schedule_power_constrained(specs, 16, 100.0, power)
+        tests = sorted(schedule.tests, key=lambda t: t.start)
+        for prev, cur in zip(tests, tests[1:]):
+            assert cur.start >= prev.end
+
+    def test_loose_budget_allows_parallelism(self, specs):
+        power = {spec.name: 1.0 for spec in specs}
+        tight = schedule_power_constrained(specs, 16, 1.0, power)
+        loose = schedule_power_constrained(specs, 16, 100.0, power)
+        assert loose.makespan <= tight.makespan
+        starts = {t.start for t in loose.tests}
+        assert len(starts) < len(loose.tests) or loose.makespan < tight.makespan
+
+    def test_oversized_core_rejected(self, specs):
+        power = default_power_model(specs)
+        small_budget = min(power.values()) / 2
+        with pytest.raises(ValueError, match="exceeds the power budget"):
+            schedule_power_constrained(specs, 16, small_budget, power)
+
+    def test_default_power_model_tracks_cell_count(self, specs):
+        power = default_power_model(specs)
+        assert power["b"] == 200 + 20 + 30
+        assert power["c"] == 30 + 5 + 5
+
+    def test_power_and_wires_both_bind(self, specs):
+        """With 4 wires at width 4 only one test runs at a time anyway;
+        adding a tight power budget must not deadlock."""
+        power = default_power_model(specs)
+        schedule = schedule_power_constrained(
+            specs, tam_width=4, power_budget=max(power.values()),
+            power=power, preferred_width=4,
+        )
+        schedule.verify()
+        verify_power(schedule, power, max(power.values()))
+
+    def test_negative_power_rejected(self):
+        from repro.tam import CorePower
+
+        with pytest.raises(ValueError):
+            CorePower("x", -1.0)

@@ -1,0 +1,115 @@
+"""Unit tests for fault-dictionary diagnosis (repro.atpg.diagnosis)."""
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    build_dictionary,
+    collapse_faults,
+    diagnose,
+    generate_tests,
+    observe_faulty_device,
+)
+
+
+@pytest.fixture(scope="module")
+def c17_setup():
+    from repro.circuit import parse_bench
+    from tests.conftest import C17_BENCH
+
+    netlist = parse_bench(C17_BENCH, "c17")
+    result = generate_tests(netlist, seed=1)
+    circuit = CompiledCircuit(netlist)
+    faults = collapse_faults(circuit)
+    dictionary = build_dictionary(circuit, result.test_set, faults)
+    return circuit, result, faults, dictionary
+
+
+class TestDictionary:
+    def test_signature_per_fault_per_pattern(self, c17_setup):
+        circuit, result, faults, dictionary = c17_setup
+        assert set(dictionary.signatures) == set(faults)
+        for signature in dictionary.signatures.values():
+            assert len(signature) == result.pattern_count
+
+    def test_every_fault_has_nonempty_signature(self, c17_setup):
+        """The test set covers 100% of c17's faults, so every signature
+        must show at least one miscompare."""
+        _circuit, _result, _faults, dictionary = c17_setup
+        for fault, signature in dictionary.signatures.items():
+            assert any(outs for outs in signature)
+
+    def test_miscompares_fold_to_detect_mask(self, c17_setup):
+        """The per-output dictionary must agree with detect_mask."""
+        from repro.atpg import FaultSimulator
+
+        circuit, result, faults, dictionary = c17_setup
+        simulator = FaultSimulator(circuit)
+        trits = result.test_set.as_trit_dicts(circuit)
+        good, count = simulator.good_values(trits)
+        for fault in faults:
+            mask = simulator.detect_mask(good, count, fault)
+            signature = dictionary.signatures[fault]
+            for bit in range(count):
+                assert bool(signature[bit]) == bool(mask & (1 << bit))
+
+    def test_diagnosability_metric_in_unit_interval(self, c17_setup):
+        _circuit, _result, _faults, dictionary = c17_setup
+        assert 0.0 < dictionary.distinguishable_pairs() <= 1.0
+
+
+class TestDiagnose:
+    def test_injected_fault_ranks_first(self, c17_setup):
+        """Diagnosing a device with a known fault must rank that fault
+        (or an equivalent with identical signature) at the top with a
+        perfect score."""
+        circuit, result, faults, dictionary = c17_setup
+        for target in faults[::3]:
+            observed = observe_faulty_device(circuit, result.test_set, target)
+            ranked = diagnose(dictionary, observed, top=3)
+            best = ranked[0]
+            assert best.score == pytest.approx(1.0)
+            assert dictionary.signatures[best.fault] == (
+                dictionary.signatures[target]
+            )
+
+    def test_fault_free_device_scores_zero(self, c17_setup):
+        circuit, result, _faults, dictionary = c17_setup
+        observed = [frozenset()] * result.pattern_count
+        ranked = diagnose(dictionary, observed, top=5)
+        assert all(candidate.score == 0.0 for candidate in ranked)
+
+    def test_length_mismatch_rejected(self, c17_setup):
+        _circuit, _result, _faults, dictionary = c17_setup
+        with pytest.raises(ValueError, match="patterns"):
+            diagnose(dictionary, [frozenset()])
+
+    def test_top_limits_candidates(self, c17_setup):
+        circuit, result, faults, dictionary = c17_setup
+        observed = observe_faulty_device(circuit, result.test_set, faults[0])
+        assert len(diagnose(dictionary, observed, top=2)) == 2
+
+    def test_modular_localization_story(self):
+        """Two disjoint cores under one test program: a fault in core B
+        never produces miscompares on core A's outputs — the free
+        localization modular testing gives."""
+        from repro.circuit import parse_bench
+
+        netlist = parse_bench(
+            "INPUT(a1)\nINPUT(a2)\nINPUT(b1)\nINPUT(b2)\n"
+            "OUTPUT(za)\nOUTPUT(zb)\n"
+            "za = AND(a1, a2)\nzb = OR(b1, b2)\n",
+            "twocores",
+        )
+        circuit = CompiledCircuit(netlist)
+        result = generate_tests(netlist, seed=0)
+        faults = collapse_faults(circuit)
+        zb_id = circuit.net_ids["zb"]
+        b_faults = [
+            f for f in faults
+            if circuit.net_names[f.net] in ("b1", "b2", "zb")
+        ]
+        dictionary = build_dictionary(circuit, result.test_set, faults)
+        for fault in b_faults:
+            for outs in dictionary.signatures[fault]:
+                assert outs <= {zb_id}

@@ -1,0 +1,221 @@
+"""Unit tests for the full ATPG flow (repro.atpg.engine, .random_phase)."""
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    FaultSimulator,
+    collapse_faults,
+    extract_cone_netlist,
+    generate_tests,
+    per_cone_pattern_counts,
+    run_random_phase,
+)
+from repro.circuit import extract_cones, parse_bench
+from repro.synth import GeneratorSpec, generate_circuit
+
+
+class TestRandomPhase:
+    def test_detects_and_drops(self, c17):
+        circuit = CompiledCircuit(c17)
+        faults = collapse_faults(circuit)
+        result = run_random_phase(circuit, faults, seed=0)
+        assert result.detected + len(result.remaining_faults) == len(faults)
+        assert result.detected > 0
+        assert result.batches >= 1
+
+    def test_kept_patterns_are_first_detectors(self, c17):
+        """Every kept pattern must detect something on its own."""
+        circuit = CompiledCircuit(c17)
+        faults = collapse_faults(circuit)
+        result = run_random_phase(circuit, faults, seed=0)
+        simulator = FaultSimulator(circuit)
+        for pattern in result.patterns:
+            mask = simulator.useful_pattern_mask(
+                [pattern.as_trits(circuit.input_ids)], faults
+            )
+            assert mask == 1
+
+    def test_deterministic_for_seed(self, c17):
+        circuit = CompiledCircuit(c17)
+        faults = collapse_faults(circuit)
+        first = run_random_phase(circuit, faults, seed=9)
+        second = run_random_phase(circuit, faults, seed=9)
+        assert [p.assignments for p in first.patterns] == (
+            [p.assignments for p in second.patterns]
+        )
+
+    def test_max_batches_honored(self, c17):
+        circuit = CompiledCircuit(c17)
+        faults = collapse_faults(circuit)
+        result = run_random_phase(circuit, faults, seed=0, max_batches=1)
+        assert result.batches == 1
+
+
+class TestGenerateTests:
+    def test_c17_full_coverage(self, c17):
+        result = generate_tests(c17, seed=1)
+        assert result.fault_coverage == 1.0
+        assert result.pattern_count > 0
+        assert not result.untestable and not result.aborted
+
+    def test_patterns_fully_specified_after_fill(self, c17):
+        result = generate_tests(c17, seed=1)
+        circuit = CompiledCircuit(c17)
+        for pattern in result.test_set:
+            assert set(pattern.assignments) == set(circuit.input_ids)
+
+    def test_coverage_claim_is_verified_by_independent_sim(self, c17):
+        """detected_count must match a from-scratch fault simulation."""
+        from repro.atpg import fault_coverage
+
+        result = generate_tests(c17, seed=1)
+        circuit = CompiledCircuit(c17)
+        faults = collapse_faults(circuit)
+        trits = result.test_set.as_trit_dicts(circuit)
+        coverage = fault_coverage(circuit, trits, faults)
+        assert coverage == pytest.approx(result.fault_coverage)
+
+    def test_every_kept_pattern_detects_something_new_in_order(self, c17):
+        """The final prune keeps only patterns that add coverage when the
+        set is simulated front to back."""
+        result = generate_tests(c17, seed=1)
+        circuit = CompiledCircuit(c17)
+        simulator = FaultSimulator(circuit)
+        remaining = collapse_faults(circuit)
+        for pattern in result.test_set:
+            trits = [pattern.as_trits(circuit.input_ids)]
+            good, count = simulator.good_values(trits)
+            newly = [
+                f for f in remaining if simulator.detect_mask(good, count, f)
+            ]
+            assert newly, "kept pattern adds no coverage"
+            remaining = [f for f in remaining if f not in newly]
+
+    def test_untestable_faults_reported(self):
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\n"
+            "n = NOT(a)\nt = OR(a, n)\nz = AND(t, b)\n",
+            "redundant",
+        )
+        result = generate_tests(netlist, seed=0)
+        assert result.untestable
+        assert result.testable_coverage == 1.0
+        assert result.fault_coverage < 1.0
+
+    def test_deterministic_per_seed(self, seq_netlist):
+        first = generate_tests(seq_netlist, seed=5)
+        second = generate_tests(seq_netlist, seed=5)
+        assert first.pattern_count == second.pattern_count
+        assert [p.assignments for p in first.test_set] == (
+            [p.assignments for p in second.test_set]
+        )
+
+    def test_different_seeds_may_differ_but_both_cover(self, seq_netlist):
+        first = generate_tests(seq_netlist, seed=1)
+        second = generate_tests(seq_netlist, seed=2)
+        assert first.fault_coverage == 1.0
+        assert second.fault_coverage == 1.0
+
+    def test_compaction_disabled_never_shrinks_count(self, c17):
+        compacted = generate_tests(c17, seed=1, compact=True)
+        loose = generate_tests(c17, seed=1, compact=False)
+        assert loose.deterministic_pattern_count >= (
+            compacted.deterministic_pattern_count
+        )
+
+    def test_generated_circuit_high_coverage(self):
+        netlist = generate_circuit(
+            GeneratorSpec(name="g", inputs=12, outputs=4, flip_flops=6,
+                          target_gates=120, seed=8)
+        )
+        result = generate_tests(netlist, seed=8)
+        assert result.testable_coverage == 1.0
+
+
+class TestPerCone:
+    def test_cone_netlist_extraction(self, c17):
+        cones = extract_cones(c17)
+        cone = next(c for c in cones if c.output == "G22")
+        sub = extract_cone_netlist(c17, cone)
+        assert set(sub.inputs) == set(cone.inputs)
+        assert sub.outputs == ["G22"]
+        assert len(sub.gates) == 4
+
+    def test_cone_netlist_preserves_function(self, c17):
+        cones = extract_cones(c17)
+        cone = next(c for c in cones if c.output == "G23")
+        sub = extract_cone_netlist(c17, cone)
+        assignment = {"G2": 1, "G3": 0, "G6": 1, "G7": 0}
+        assert sub.evaluate(assignment)["G23"] == (
+            c17.evaluate(assignment)["G23"]
+        )
+
+    def test_per_cone_counts_cover_all_cones(self, c17):
+        counts = per_cone_pattern_counts(c17, seed=1)
+        assert set(counts) == {"G22", "G23"}
+        assert all(count > 0 for count in counts.values())
+
+    def test_feedthrough_cone_counts_zero(self):
+        netlist = parse_bench("INPUT(a)\nOUTPUT(a)\n", "ft")
+        assert per_cone_pattern_counts(netlist) == {"a": 0}
+
+
+class TestDynamicCompaction:
+    def test_frozen_assignments_respected(self, c17):
+        """Secondary-target PODEM must never flip a frozen bit."""
+        from repro.atpg import Podem, PodemOutcome
+
+        circuit = CompiledCircuit(c17)
+        podem = Podem(circuit)
+        faults = collapse_faults(circuit)
+        primary = podem.generate(faults[0])
+        assert primary.outcome is PodemOutcome.DETECTED
+        frozen = dict(primary.pattern.assignments)
+        for fault in faults[1:8]:
+            result = podem.generate(fault, frozen=frozen)
+            if result.outcome is PodemOutcome.DETECTED:
+                for net, value in frozen.items():
+                    assert result.pattern.assignments[net] == value
+
+    def test_extended_pattern_still_detects_primary(self, c17):
+        from repro.atpg import FaultSimulator, Podem, PodemOutcome
+
+        circuit = CompiledCircuit(c17)
+        podem = Podem(circuit)
+        simulator = FaultSimulator(circuit)
+        faults = collapse_faults(circuit)
+        primary = podem.generate(faults[0])
+        extended = primary.pattern
+        for fault in faults[1:6]:
+            result = podem.generate(fault, frozen=extended.assignments)
+            if result.outcome is PodemOutcome.DETECTED:
+                extended = result.pattern
+        trits = [extended.as_trits(circuit.input_ids)]
+        good, count = simulator.good_values(trits)
+        assert simulator.detect_mask(good, count, faults[0])
+
+    def test_reduces_pre_compaction_count(self):
+        """With the random phase off, secondary targeting slashes the
+        number of deterministic patterns generated."""
+        netlist = generate_circuit(
+            GeneratorSpec(name="dyn", inputs=16, outputs=8, flip_flops=16,
+                          target_gates=220, seed=13)
+        )
+        plain = generate_tests(netlist, seed=13, random_batches=0)
+        dynamic = generate_tests(netlist, seed=13, random_batches=0,
+                                 dynamic_compaction=20)
+        assert dynamic.pre_compaction_count < plain.pre_compaction_count
+        assert dynamic.fault_coverage == plain.fault_coverage
+
+    def test_reverse_pruning_beats_forward_keepers(self):
+        """The final reverse-order prune must keep a set no larger than
+        the raw random+deterministic pattern pool."""
+        netlist = generate_circuit(
+            GeneratorSpec(name="rp", inputs=14, outputs=6, flip_flops=12,
+                          target_gates=160, seed=17)
+        )
+        result = generate_tests(netlist, seed=17)
+        pool = result.random_pattern_count + result.deterministic_pattern_count
+        assert result.pattern_count <= pool
+        assert result.testable_coverage == 1.0

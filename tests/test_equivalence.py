@@ -1,0 +1,134 @@
+"""Unit tests for random-simulation equivalence checking."""
+
+import pytest
+
+from repro.circuit import (
+    GateType,
+    Netlist,
+    check_equivalence,
+    check_instance_in_flat,
+    parse_bench,
+)
+from repro.synth import GeneratorSpec, generate_circuit
+
+
+def nand_form(name: str) -> Netlist:
+    """a AND b built from NANDs (equivalent to the AND form)."""
+    netlist = Netlist(name)
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateType.NAND, "t", ["a", "b"])
+    netlist.add_gate(GateType.NOT, "z", ["t"])
+    netlist.mark_output("z")
+    return netlist
+
+
+def and_form(name: str) -> Netlist:
+    netlist = Netlist(name)
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateType.AND, "z", ["a", "b"])
+    netlist.mark_output("z")
+    return netlist
+
+
+class TestCheckEquivalence:
+    def test_equivalent_structures_pass(self):
+        result = check_equivalence(and_form("ref"), nand_form("cand"), vectors=64)
+        assert result
+        assert result.vectors_checked == 64
+        assert result.counterexample is None
+
+    def test_inequivalent_structures_fail_with_counterexample(self):
+        wrong = Netlist("wrong")
+        wrong.add_input("a")
+        wrong.add_input("b")
+        wrong.add_gate(GateType.OR, "z", ["a", "b"])
+        wrong.mark_output("z")
+        result = check_equivalence(and_form("ref"), wrong, vectors=256)
+        assert not result
+        cx = result.counterexample
+        assert cx.output == "z"
+        # AND and OR differ exactly when inputs differ.
+        assert cx.assignment["a"] != cx.assignment["b"]
+        assert cx.reference_value != cx.candidate_value
+
+    def test_name_maps(self):
+        renamed = Netlist("renamed")
+        renamed.add_input("x")
+        renamed.add_input("y")
+        renamed.add_gate(GateType.AND, "out", ["x", "y"])
+        renamed.mark_output("out")
+        result = check_equivalence(
+            and_form("ref"), renamed,
+            input_map={"a": "x", "b": "y"}, output_map={"z": "out"},
+            vectors=64,
+        )
+        assert result
+
+    def test_missing_mapped_input_rejected(self):
+        with pytest.raises(ValueError, match="lacks mapped inputs"):
+            check_equivalence(and_form("ref"), nand_form("cand"),
+                              input_map={"a": "nope"})
+
+    def test_missing_mapped_output_rejected(self):
+        with pytest.raises(ValueError, match="lacks mapped outputs"):
+            check_equivalence(and_form("ref"), nand_form("cand"),
+                              output_map={"z": "nope"})
+
+    def test_sequential_full_scan_views_compared(self, seq_netlist):
+        clone = parse_bench(
+            "INPUT(A)\nINPUT(B)\nOUTPUT(Z)\nS = DFF(NS)\n"
+            "NS = AND(S, A)\nT = OR(S, B)\nZ = XOR(A, T)\n",
+            "clone",
+        )
+        assert check_equivalence(seq_netlist, clone, vectors=128)
+
+    def test_self_equivalence_of_generated_circuit(self):
+        netlist = generate_circuit(
+            GeneratorSpec(name="g", inputs=10, outputs=4, flip_flops=6,
+                          target_gates=90, seed=51)
+        )
+        assert check_equivalence(netlist, netlist, vectors=128)
+
+
+class TestInstanceInFlat:
+    def test_merge_preserves_core_function(self):
+        """The load-bearing check: instantiating a core into a flattened
+        SOC must not change its logic."""
+        core = generate_circuit(
+            GeneratorSpec(name="core", inputs=8, outputs=4, flip_flops=5,
+                          target_gates=70, seed=52)
+        )
+        flat = Netlist("flat")
+        flat.add_input("ext")
+        rename = flat.merge(core, prefix="u0_")
+        result = check_instance_in_flat(core, flat, rename, vectors=128)
+        assert result
+
+    def test_detects_corruption(self):
+        core = and_form("core")
+        flat = Netlist("flat")
+        rename = {"a": "u_a", "b": "u_b", "z": "u_z", "t": "u_t"}
+        flat.add_input("u_a")
+        flat.add_input("u_b")
+        flat.add_gate(GateType.OR, "u_z", ["u_a", "u_b"])  # corrupted gate
+        result = check_instance_in_flat(core, flat, rename, vectors=128)
+        assert not result
+
+    def test_soc1_monolithic_preserves_every_core(self):
+        """Each SOC1 core instantiated in the flattened design is
+        function-identical to its stand-alone netlist."""
+        from repro.circuit.netlist import Netlist as NL
+        from repro.synth import elaborate, soc1_design
+
+        design = elaborate(soc1_design(), seed=3)
+        # Rebuild the flat netlist while keeping the rename maps.
+        flat = NL("probe_flat")
+        for k in range(design.chip_inputs):
+            flat.add_input(f"pin_i{k}")
+        for instance, _profile in design.instances:
+            core = design.core_netlists[instance]
+            rename = flat.merge(core, prefix=f"{instance}_")
+            result = check_instance_in_flat(core, flat, rename, vectors=64)
+            assert result, instance

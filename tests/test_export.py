@@ -1,0 +1,145 @@
+"""Unit tests for scan-vector export (repro.atpg.export)."""
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    dump_vectors,
+    expand_vectors,
+    export_program,
+    generate_tests,
+    model_bits,
+    parse_vectors,
+)
+from repro.atpg.export import VectorFormatError
+from repro.circuit import insert_scan
+from repro.synth import GeneratorSpec, generate_circuit
+
+
+@pytest.fixture(scope="module")
+def scan_design():
+    netlist = generate_circuit(
+        GeneratorSpec(name="exp", inputs=7, outputs=4, flip_flops=9,
+                      target_gates=80, seed=17)
+    )
+    result = generate_tests(netlist, seed=17)
+    return netlist, result
+
+
+class TestExpand:
+    def test_vector_count_matches_patterns(self, scan_design):
+        netlist, result = scan_design
+        program = export_program(netlist, result, chain_count=2)
+        assert program.pattern_count == result.pattern_count
+
+    def test_bit_accounting_matches_eq1(self, scan_design):
+        """The delivered bits equal the model's (I + O + 2S) * T —
+        the reconciliation between Eq. 1 and an actual test program."""
+        netlist, result = scan_design
+        program = export_program(netlist, result, chain_count=3)
+        assert program.total_bits() == model_bits(netlist, result.pattern_count)
+
+    def test_bit_split(self, scan_design):
+        netlist, result = scan_design
+        program = export_program(netlist, result, chain_count=2)
+        t = result.pattern_count
+        assert program.total_stimulus_bits() == (7 + 9) * t
+        assert program.total_response_bits() == (4 + 9) * t
+
+    def test_loads_follow_chain_partition(self, scan_design):
+        netlist, result = scan_design
+        insertion = insert_scan(netlist, chain_count=2)
+        program = expand_vectors(netlist, result.test_set, insertion)
+        for vector in program.vectors:
+            for chain in insertion.chains:
+                assert len(vector.loads[chain.name]) == len(chain)
+                assert len(vector.unloads[chain.name]) == len(chain)
+
+    def test_expected_responses_match_simulation(self, scan_design):
+        """Unload values must be the D-input captures of the pattern."""
+        netlist, result = scan_design
+        circuit = CompiledCircuit(netlist)
+        program = export_program(netlist, result, chain_count=1)
+        (chain_name, cells), = program.chains.items()
+        d_of = {ff.output: ff.data for ff in netlist.flip_flops}
+        vector = program.vectors[0]
+        pattern = result.test_set.patterns[0]
+        reference = netlist.evaluate({
+            circuit.net_names[n]: v for n, v in pattern.assignments.items()
+        })
+        for cell, char in zip(cells, vector.unloads[chain_name]):
+            expected = reference[d_of[cell]]
+            assert char == ("X" if expected is None else str(expected))
+
+    def test_fully_specified_patterns_have_no_x_stimulus(self, scan_design):
+        netlist, result = scan_design
+        program = export_program(netlist, result, chain_count=1)
+        for vector in program.vectors:
+            assert "X" not in vector.pi_values
+            assert all("X" not in bits for bits in vector.loads.values())
+
+    def test_mismatched_insertion_rejected(self, scan_design, c17):
+        netlist, result = scan_design
+        wrong = insert_scan(c17, chain_count=1)  # c17 has no flip-flops
+        with pytest.raises(ValueError, match="does not cover"):
+            expand_vectors(netlist, result.test_set, wrong)
+
+    def test_combinational_design_exports_pi_po_only(self, c17):
+        result = generate_tests(c17, seed=1)
+        program = export_program(c17, result)
+        assert program.total_bits() == (5 + 2) * result.pattern_count
+        assert all(not v.loads or all(b == "" for b in v.loads.values())
+                   for v in program.vectors)
+
+
+class TestFormatRoundTrip:
+    def test_round_trip(self, scan_design):
+        netlist, result = scan_design
+        program = export_program(netlist, result, chain_count=2)
+        again = parse_vectors(dump_vectors(program))
+        assert again.design == program.design
+        assert again.chains == program.chains
+        assert again.pattern_count == program.pattern_count
+        assert again.total_bits() == program.total_bits()
+        for mine, theirs in zip(program.vectors, again.vectors):
+            assert mine.pi_values == theirs.pi_values
+            assert mine.loads == theirs.loads
+            assert mine.po_values == theirs.po_values
+            assert mine.unloads == theirs.unloads
+
+    def test_missing_design_rejected(self):
+        with pytest.raises(VectorFormatError, match="Design"):
+            parse_vectors("Pattern 0\nEnd\n")
+
+    def test_nested_pattern_rejected(self):
+        with pytest.raises(VectorFormatError, match="nested"):
+            parse_vectors("Design d\nPattern 0\nPattern 1\nEnd\n")
+
+    def test_unterminated_pattern_rejected(self):
+        with pytest.raises(VectorFormatError, match="unterminated"):
+            parse_vectors("Design d\nPattern 0\n")
+
+    def test_stray_field_rejected(self):
+        with pytest.raises(VectorFormatError, match="outside"):
+            parse_vectors("Design d\nPI 010\n")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(VectorFormatError, match="Bogus"):
+            parse_vectors("Design d\nBogus 1\n")
+
+
+class TestCareBits:
+    def test_care_fraction_below_one_for_partial_sets(self, c17):
+        """Export the *uncompacted, unfilled* PODEM patterns: X bits
+        survive into the program and the care fraction reflects them."""
+        from repro.atpg import CompiledCircuit, Podem, collapse_faults
+        from repro.atpg.patterns import TestSet
+
+        circuit = CompiledCircuit(c17)
+        podem = Podem(circuit)
+        partial = TestSet("c17")
+        for fault in collapse_faults(circuit)[:4]:
+            outcome = podem.generate(fault)
+            partial.add(outcome.pattern)
+        program = expand_vectors(c17, partial)
+        assert 0.0 < program.care_bit_fraction() < 1.0

@@ -1,0 +1,101 @@
+"""Unit tests for the fault model and collapsing (repro.atpg.faults)."""
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    Fault,
+    collapse_faults,
+    collapse_ratio,
+    full_fault_universe,
+)
+from repro.circuit import parse_bench
+
+
+@pytest.fixture
+def inv_chain():
+    return CompiledCircuit(
+        parse_bench("INPUT(a)\nOUTPUT(z)\nb = NOT(a)\nz = NOT(b)\n", "chain")
+    )
+
+
+class TestUniverse:
+    def test_stem_faults_cover_every_net_twice(self, c17):
+        circuit = CompiledCircuit(c17)
+        stems = [f for f in full_fault_universe(circuit) if not f.is_branch]
+        assert len(stems) == 2 * circuit.net_count
+
+    def test_branch_faults_only_on_fanout_stems(self, c17):
+        circuit = CompiledCircuit(c17)
+        branches = [f for f in full_fault_universe(circuit) if f.is_branch]
+        # Fanout stems in c17: G3 (2 loads), G11 (2 loads), G16 (2 loads).
+        assert len(branches) == 2 * 2 * 3
+
+    def test_describe(self, c17):
+        circuit = CompiledCircuit(c17)
+        fault = Fault(circuit.net_ids["G1"], 0)
+        assert fault.describe(circuit) == "G1 stuck-at-0"
+        g16 = next(g for g in circuit.gates if circuit.net_names[g.output] == "G16")
+        branch = Fault(circuit.net_ids["G11"], 1, g16.index, 1)
+        assert "G11->G16[1]" in branch.describe(circuit)
+
+
+class TestCollapse:
+    def test_collapse_shrinks_universe(self, c17):
+        circuit = CompiledCircuit(c17)
+        full = full_fault_universe(circuit)
+        collapsed = collapse_faults(circuit, full)
+        assert 0 < len(collapsed) < len(full)
+
+    def test_collapse_ratio_in_unit_interval(self, c17):
+        ratio = collapse_ratio(CompiledCircuit(c17))
+        assert 0.0 < ratio < 1.0
+
+    def test_inverter_chain_collapses_both_polarities(self, inv_chain):
+        collapsed = collapse_faults(inv_chain)
+        # a/b/z sa0+sa1 = 6 faults; NOT equivalence merges each polarity
+        # chain into one class: exactly 2 representatives remain.
+        assert len(collapsed) == 2
+
+    def test_and_gate_classes(self):
+        circuit = CompiledCircuit(
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n", "and2")
+        )
+        collapsed = collapse_faults(circuit)
+        # Universe: 6 stem faults.  a-sa0 == b-sa0 == z-sa0 merge into one
+        # class, leaving a-sa1, b-sa1, z-sa1 and the merged sa0: 4 classes.
+        assert len(collapsed) == 4
+
+    def test_nand_gate_collapses_input_sa0_with_output_sa1(self):
+        circuit = CompiledCircuit(
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n", "nand2")
+        )
+        collapsed = collapse_faults(circuit)
+        assert len(collapsed) == 4
+        # The z-sa1 class is represented by its lowest-index member (a-sa0).
+        keys = {(circuit.net_names[f.net], f.stuck_at) for f in collapsed}
+        assert ("a", 0) in keys and ("z", 1) not in keys
+
+    def test_xor_gate_does_not_collapse(self):
+        circuit = CompiledCircuit(
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = XOR(a, b)\n", "xor2")
+        )
+        collapsed = collapse_faults(circuit)
+        assert len(collapsed) == 6  # no intra-gate equivalences
+
+    def test_collapsing_is_deterministic(self, c17):
+        circuit = CompiledCircuit(c17)
+        first = collapse_faults(circuit)
+        second = collapse_faults(circuit)
+        assert first == second
+
+    def test_branch_faults_survive_collapsing_where_inequivalent(self, c17):
+        """Non-controlling branch faults on fanout stems stay distinct."""
+        circuit = CompiledCircuit(c17)
+        collapsed = collapse_faults(circuit)
+        branch_sa1 = [
+            f for f in collapsed
+            if f.is_branch and f.stuck_at == 1
+        ]
+        # NAND inputs: sa1 is the non-controlling polarity, never merged.
+        assert branch_sa1

@@ -1,0 +1,152 @@
+"""Unit tests for fault simulation (repro.atpg.faultsim).
+
+The ground truth is a brute-force reference: inject the fault by
+re-evaluating the netlist with the forced value and compare outputs.
+"""
+
+import itertools
+import random
+from typing import Dict, Optional
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    Fault,
+    FaultSimulator,
+    fault_coverage,
+    full_fault_universe,
+)
+from repro.circuit import Netlist
+
+
+def reference_detects(
+    netlist: Netlist,
+    circuit: CompiledCircuit,
+    fault: Fault,
+    assignment: Dict[str, Optional[int]],
+) -> bool:
+    """Slow, obviously-correct single-pattern fault simulation."""
+    good = netlist.evaluate(assignment)
+
+    def faulty_evaluate() -> Dict[str, Optional[int]]:
+        from repro.circuit.gates import evaluate_gate
+
+        values: Dict[str, Optional[int]] = {}
+        fault_name = circuit.net_names[fault.net]
+        for net in netlist.combinational_inputs():
+            values[net] = assignment.get(net)
+            if not fault.is_branch and net == fault_name:
+                values[net] = fault.stuck_at
+        for index, gate in enumerate(netlist.topological_order()):
+            inputs = []
+            for pin, net in enumerate(gate.inputs):
+                value = values.get(net)
+                if (
+                    fault.is_branch
+                    and circuit.gates[fault.gate_index].output
+                    == circuit.net_ids[gate.output]
+                    and pin == fault.pin
+                ):
+                    value = fault.stuck_at
+                inputs.append(value)
+            out = evaluate_gate(gate.gate_type, inputs)
+            if not fault.is_branch and gate.output == fault_name:
+                out = fault.stuck_at
+            values[gate.output] = out
+        return values
+
+    faulty = faulty_evaluate()
+    for net in netlist.combinational_outputs():
+        g, f = good[net], faulty[net]
+        if g is not None and f is not None and g != f:
+            return True
+    return False
+
+
+class TestDetectMask:
+    def test_matches_reference_exhaustively_on_c17(self, c17):
+        circuit = CompiledCircuit(c17)
+        simulator = FaultSimulator(circuit)
+        vectors = list(itertools.product((0, 1), repeat=5))
+        patterns = [
+            {circuit.input_ids[k]: v for k, v in enumerate(vector)}
+            for vector in vectors
+        ]
+        good, count = simulator.good_values(patterns)
+        for fault in full_fault_universe(circuit):
+            mask = simulator.detect_mask(good, count, fault)
+            for bit, vector in enumerate(vectors):
+                expected = reference_detects(
+                    c17, circuit, fault, dict(zip(c17.inputs, vector))
+                )
+                assert bool(mask & (1 << bit)) == expected, (
+                    f"{fault.describe(circuit)} vector {vector}"
+                )
+
+    def test_matches_reference_with_x_bits(self, seq_netlist):
+        circuit = CompiledCircuit(seq_netlist)
+        simulator = FaultSimulator(circuit)
+        rng = random.Random(13)
+        patterns = [
+            {net_id: rng.choice([0, 1, None]) for net_id in circuit.input_ids}
+            for _ in range(32)
+        ]
+        good, count = simulator.good_values(patterns)
+        for fault in full_fault_universe(circuit):
+            mask = simulator.detect_mask(good, count, fault)
+            for bit, pattern in enumerate(patterns):
+                assignment = {
+                    circuit.net_names[n]: v for n, v in pattern.items()
+                }
+                expected = reference_detects(seq_netlist, circuit, fault, assignment)
+                assert bool(mask & (1 << bit)) == expected
+
+    def test_undetectable_when_good_equals_stuck(self, c17):
+        circuit = CompiledCircuit(c17)
+        simulator = FaultSimulator(circuit)
+        pattern = {net_id: 0 for net_id in circuit.input_ids}
+        good, count = simulator.good_values([pattern])
+        # With all inputs 0, G10 = 1; a stuck-at-1 there changes nothing.
+        fault = Fault(circuit.net_ids["G10"], 1)
+        assert simulator.detect_mask(good, count, fault) == 0
+
+
+class TestDropAndCoverage:
+    def test_drop_detected_partitions(self, c17):
+        circuit = CompiledCircuit(c17)
+        simulator = FaultSimulator(circuit)
+        faults = full_fault_universe(circuit)
+        patterns = [{net_id: 0 for net_id in circuit.input_ids}]
+        remaining, dropped = simulator.drop_detected(patterns, faults)
+        assert dropped + len(remaining) == len(faults)
+        assert dropped > 0
+
+    def test_full_vector_set_covers_all_collapsed_c17_faults(self, c17):
+        from repro.atpg import collapse_faults
+
+        circuit = CompiledCircuit(c17)
+        vectors = list(itertools.product((0, 1), repeat=5))
+        patterns = [
+            {circuit.input_ids[k]: v for k, v in enumerate(vector)}
+            for vector in vectors
+        ]
+        coverage = fault_coverage(circuit, patterns, collapse_faults(circuit))
+        assert coverage == 1.0  # c17 has no undetectable stuck-at faults
+
+    def test_useful_pattern_mask(self, c17):
+        circuit = CompiledCircuit(c17)
+        simulator = FaultSimulator(circuit)
+        faults = full_fault_universe(circuit)
+        patterns = [
+            {net_id: 0 for net_id in circuit.input_ids},
+            {net_id: 0 for net_id in circuit.input_ids},  # duplicate
+        ]
+        mask = simulator.useful_pattern_mask(patterns, faults)
+        assert mask & 0b01  # first detects something
+        assert mask & 0b10  # identical second detects the same faults
+
+    def test_empty_fault_list_rejected(self, c17):
+        circuit = CompiledCircuit(c17)
+        with pytest.raises(ValueError):
+            fault_coverage(circuit, [], [])

@@ -1,0 +1,113 @@
+"""Unit tests for X-fill strategies (repro.atpg.fill)."""
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    Podem,
+    TestSet,
+    collapse_faults,
+    fault_coverage,
+)
+from repro.atpg.fill import (
+    FILL_STRATEGIES,
+    fill_pattern,
+    fill_strategy_report,
+    fill_test_set,
+    shift_transitions,
+)
+from repro.atpg.patterns import TestPattern
+
+
+@pytest.fixture(scope="module")
+def partial_set(request):
+    """PODEM's partial patterns for c17 (X-rich)."""
+    from repro.circuit import parse_bench
+    from tests.conftest import C17_BENCH
+
+    netlist = parse_bench(C17_BENCH, "c17")
+    circuit = CompiledCircuit(netlist)
+    podem = Podem(circuit)
+    patterns = TestSet("c17")
+    for fault in collapse_faults(circuit):
+        outcome = podem.generate(fault)
+        if outcome.pattern is not None:
+            patterns.add(outcome.pattern)
+    return netlist, circuit, patterns
+
+
+class TestFillPattern:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown fill"):
+            fill_pattern(TestPattern({}), [0, 1], strategy="sparkle")
+
+    def test_care_bits_always_preserved(self, partial_set):
+        _netlist, circuit, patterns = partial_set
+        for strategy in FILL_STRATEGIES:
+            filled = fill_test_set(patterns, circuit, strategy)
+            for before, after in zip(patterns, filled):
+                for net, value in before.assignments.items():
+                    assert after.assignments[net] == value, strategy
+
+    def test_every_bit_specified_after_fill(self, partial_set):
+        _netlist, circuit, patterns = partial_set
+        for strategy in FILL_STRATEGIES:
+            for pattern in fill_test_set(patterns, circuit, strategy):
+                assert set(pattern.assignments) == set(circuit.input_ids)
+
+    def test_zero_and_one_fill(self):
+        pattern = TestPattern({1: 1})
+        zero = fill_pattern(pattern, [0, 1, 2], "zero")
+        one = fill_pattern(pattern, [0, 1, 2], "one")
+        assert zero.assignments == {0: 0, 1: 1, 2: 0}
+        assert one.assignments == {0: 1, 1: 1, 2: 1}
+
+    def test_adjacent_fill_repeats_previous_care_bit(self):
+        pattern = TestPattern({1: 1, 3: 0})
+        filled = fill_pattern(pattern, [0, 1, 2, 3, 4], "adjacent")
+        # Leading X defaults to 0; after the 1 at position 1, Xs repeat 1.
+        assert filled.assignments == {0: 0, 1: 1, 2: 1, 3: 0, 4: 0}
+
+    def test_coverage_preserved_under_any_fill(self, partial_set):
+        """Filling only adds detections: the target faults stay covered."""
+        netlist, circuit, patterns = partial_set
+        faults = collapse_faults(circuit)
+        for strategy in FILL_STRATEGIES:
+            filled = fill_test_set(patterns, circuit, strategy)
+            coverage = fault_coverage(
+                circuit, filled.as_trit_dicts(circuit), faults
+            )
+            assert coverage == 1.0, strategy
+
+
+class TestCostMetrics:
+    def test_shift_transitions_counts_boundaries(self):
+        test_set = TestSet("t", [TestPattern({0: 0, 1: 1, 2: 1, 3: 0})])
+        assert shift_transitions(test_set, [0, 1, 2, 3]) == 2
+
+    def test_constant_fill_has_minimal_transitions_vs_random(self, partial_set):
+        _netlist, circuit, patterns = partial_set
+        report = fill_strategy_report(patterns, circuit)
+        assert report["zero"]["transitions"] <= report["random"]["transitions"]
+        assert report["adjacent"]["transitions"] <= (
+            report["random"]["transitions"]
+        )
+
+    def test_adjacent_fill_minimizes_transitions(self, partial_set):
+        """Adjacent fill adds no transitions beyond the care bits' own."""
+        _netlist, circuit, patterns = partial_set
+        report = fill_strategy_report(patterns, circuit)
+        best = min(entry["transitions"] for entry in report.values())
+        assert report["adjacent"]["transitions"] == best
+
+    def test_constant_fill_compresses_best(self, partial_set):
+        _netlist, circuit, patterns = partial_set
+        report = fill_strategy_report(patterns, circuit)
+        assert report["zero"]["run_length_ratio"] >= (
+            report["random"]["run_length_ratio"]
+        )
+
+    def test_report_covers_all_strategies(self, partial_set):
+        _netlist, circuit, patterns = partial_set
+        report = fill_strategy_report(patterns, circuit)
+        assert set(report) == set(FILL_STRATEGIES)

@@ -1,0 +1,65 @@
+"""Unit tests for gate primitives and 3-valued evaluation (repro.circuit.gates)."""
+
+import pytest
+
+from repro.circuit import GateType, evaluate_gate, gate_type_from_name
+
+
+class TestGateType:
+    def test_from_name_case_insensitive(self):
+        assert gate_type_from_name("nand") is GateType.NAND
+        assert gate_type_from_name("Xor") is GateType.XOR
+
+    def test_buff_alias(self):
+        assert gate_type_from_name("BUFF") is GateType.BUF
+        assert gate_type_from_name("buf") is GateType.BUF
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="MUX"):
+            gate_type_from_name("MUX")
+
+    def test_controlling_values(self):
+        assert GateType.AND.controlling_value == 0
+        assert GateType.NAND.controlling_value == 0
+        assert GateType.OR.controlling_value == 1
+        assert GateType.NOR.controlling_value == 1
+        assert GateType.XOR.controlling_value is None
+        assert GateType.NOT.controlling_value is None
+
+    def test_inverting(self):
+        inverting = {g for g in GateType if g.inverting}
+        assert inverting == {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+
+    def test_arity_bounds(self):
+        assert GateType.NOT.min_inputs == 1 and GateType.NOT.max_inputs == 1
+        assert GateType.AND.min_inputs == 2 and GateType.AND.max_inputs is None
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("gate,inputs,expected", [
+        (GateType.AND, [1, 1], 1),
+        (GateType.AND, [1, 0], 0),
+        (GateType.AND, [0, None], 0),  # controlling value beats X
+        (GateType.AND, [1, None], None),
+        (GateType.NAND, [0, None], 1),
+        (GateType.NAND, [1, 1, 1], 0),
+        (GateType.OR, [0, 0], 0),
+        (GateType.OR, [1, None], 1),
+        (GateType.OR, [0, None], None),
+        (GateType.NOR, [1, None], 0),
+        (GateType.XOR, [1, 0], 1),
+        (GateType.XOR, [1, 1], 0),
+        (GateType.XOR, [1, None], None),  # X poisons parity
+        (GateType.XNOR, [1, 0], 0),
+        (GateType.XNOR, [1, 1, 1], 0),
+        (GateType.XOR, [1, 1, 1], 1),
+        (GateType.NOT, [0], 1),
+        (GateType.NOT, [None], None),
+        (GateType.BUF, [1], 1),
+        (GateType.BUF, [None], None),
+    ])
+    def test_truth_entries(self, gate, inputs, expected):
+        assert evaluate_gate(gate, inputs) == expected
+
+    def test_wide_and_with_late_controlling_value(self):
+        assert evaluate_gate(GateType.AND, [1, None, None, 0]) == 0

@@ -1,0 +1,140 @@
+"""Unit tests for LFSR/MISR primitives and the BIST session."""
+
+import pytest
+
+from repro.atpg import (
+    Lfsr,
+    Misr,
+    compare_bist_vs_ate,
+    find_primitive_taps,
+    is_primitive,
+    run_bist,
+)
+from repro.synth import GeneratorSpec, generate_circuit
+
+
+class TestLfsr:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8, 9, 10])
+    def test_maximal_length(self, width):
+        """Primitive polynomials must give period 2**n - 1."""
+        assert Lfsr(width, seed=1).period() == (1 << width) - 1
+
+    def test_never_reaches_zero(self):
+        lfsr = Lfsr(6, seed=1)
+        for state in lfsr.states(200):
+            assert state != 0
+
+    def test_deterministic(self):
+        a = list(Lfsr(8, seed=5).states(32))
+        b = list(Lfsr(8, seed=5).states(32))
+        assert a == b
+
+    def test_different_seeds_are_shifts_of_one_sequence(self):
+        """A maximal LFSR visits every non-zero state, so any seed's
+        trajectory is a rotation of any other's."""
+        full = list(Lfsr(5, seed=1).states(31))
+        other = list(Lfsr(5, seed=7).states(31))
+        assert sorted(full) == sorted(other) == list(range(1, 32))
+
+    def test_pattern_bits_shape(self):
+        patterns = Lfsr(8, seed=1).pattern_bits(10)
+        assert len(patterns) == 10
+        assert all(len(bits) == 8 for bits in patterns)
+        assert all(bit in (0, 1) for bits in patterns for bit in bits)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            Lfsr(99)
+
+    def test_found_taps_are_proven_primitive(self):
+        for width in (2, 5, 8, 16, 24, 31, 32):
+            assert is_primitive(width, find_primitive_taps(width))
+
+    def test_non_primitive_taps_rejected(self):
+        # x^4 + x^2 + 1 = (x^2 + x + 1)^2 is not even irreducible.
+        assert not is_primitive(4, 0b101)
+        with pytest.raises(ValueError, match="not primitive"):
+            Lfsr(4, taps=0b101)
+
+    def test_taps_without_constant_term_rejected(self):
+        assert not is_primitive(4, 0b10)
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(8, seed=0)
+        with pytest.raises(ValueError):
+            Lfsr(8, seed=1 << 8)
+
+
+class TestMisr:
+    def test_signature_depends_on_response(self):
+        a = Misr(16)
+        b = Misr(16)
+        a.absorb([1, 0, 1])
+        b.absorb([1, 1, 1])
+        assert a.signature != b.signature
+
+    def test_signature_depends_on_order(self):
+        a = Misr(16)
+        b = Misr(16)
+        for bits in ([1, 0], [0, 1]):
+            a.absorb(bits)
+        for bits in ([0, 1], [1, 0]):
+            b.absorb(bits)
+        assert a.signature != b.signature
+
+    def test_deterministic(self):
+        a = Misr(16)
+        b = Misr(16)
+        for bits in ([1, 0, 1], [0, 0, 1], [1, 1, 0]):
+            a.absorb(list(bits))
+            b.absorb(list(bits))
+        assert a.signature == b.signature
+
+    def test_oversized_response_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Misr(4).absorb([1] * 5)
+
+
+class TestRunBist:
+    def test_c17_full_coverage(self, c17):
+        result = run_bist(c17, patterns=256)
+        assert result.fault_coverage == 1.0
+        assert result.patterns_applied == 256
+
+    def test_sequential_circuit(self, seq_netlist):
+        result = run_bist(seq_netlist, patterns=128)
+        assert result.fault_coverage == 1.0
+
+    def test_external_bits_constant_in_pattern_count(self, c17):
+        short = run_bist(c17, patterns=64)
+        long = run_bist(c17, patterns=4096)
+        assert short.external_data_bits() == long.external_data_bits()
+
+    def test_coverage_monotone_in_patterns(self, c17):
+        few = run_bist(c17, patterns=4)
+        many = run_bist(c17, patterns=256)
+        assert many.detected_count >= few.detected_count
+
+    def test_deterministic_signature(self, c17):
+        a = run_bist(c17, patterns=100, seed=3)
+        b = run_bist(c17, patterns=100, seed=3)
+        assert a.good_signature == b.good_signature
+
+    def test_wide_circuit_uses_multiple_states_per_pattern(self):
+        netlist = generate_circuit(
+            GeneratorSpec(name="wide", inputs=50, outputs=6, flip_flops=20,
+                          target_gates=220, seed=61)
+        )
+        result = run_bist(netlist, patterns=512)
+        assert result.lfsr_width <= 32
+        assert result.fault_coverage > 0.85  # pseudo-random, no top-up
+
+    def test_comparison_favors_bist_on_real_sizes(self):
+        netlist = generate_circuit(
+            GeneratorSpec(name="mid", inputs=16, outputs=8, flip_flops=30,
+                          target_gates=260, seed=62)
+        )
+        comparison = compare_bist_vs_ate(netlist, bist_patterns=1024)
+        assert comparison.external_reduction_ratio > 10.0
+        assert comparison.bist.external_data_bits() < comparison.ate_bits

@@ -1,0 +1,84 @@
+"""Unit tests for N-detect test generation (repro.atpg.engine)."""
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    FaultSimulator,
+    collapse_faults,
+    generate_n_detect_tests,
+    generate_tests,
+)
+from repro.circuit import parse_bench
+from repro.synth import GeneratorSpec, generate_circuit
+
+
+def detections_per_fault(netlist, test_set):
+    circuit = CompiledCircuit(netlist)
+    simulator = FaultSimulator(circuit)
+    counts = {}
+    patterns = test_set.as_trit_dicts(circuit)
+    for start in range(0, len(patterns), 64):
+        block = patterns[start:start + 64]
+        good, count = simulator.good_values(block)
+        for fault in collapse_faults(circuit):
+            mask = simulator.detect_mask(good, count, fault)
+            counts[fault] = counts.get(fault, 0) + bin(mask).count("1")
+    return counts
+
+
+class TestNDetect:
+    def test_quota_met_on_c17(self, c17):
+        result = generate_n_detect_tests(c17, n_detect=3, seed=1)
+        counts = detections_per_fault(c17, result.test_set)
+        assert min(counts.values()) >= 3
+        assert result.fault_coverage == 1.0
+
+    def test_n1_close_to_plain_engine(self, c17):
+        plain = generate_tests(c17, seed=1)
+        n1 = generate_n_detect_tests(c17, n_detect=1, seed=1)
+        assert n1.pattern_count >= plain.pattern_count
+        assert n1.fault_coverage == plain.fault_coverage
+
+    def test_pattern_count_grows_with_n(self, c17):
+        counts = [
+            generate_n_detect_tests(c17, n_detect=n, seed=1).pattern_count
+            for n in (1, 2, 4)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_invalid_n_rejected(self, c17):
+        with pytest.raises(ValueError):
+            generate_n_detect_tests(c17, n_detect=0)
+
+    def test_untestable_faults_excluded_from_quota(self):
+        netlist = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\n"
+            "n = NOT(a)\nt = OR(a, n)\nz = AND(t, b)\n",
+            "redundant",
+        )
+        result = generate_n_detect_tests(netlist, n_detect=2, seed=0)
+        assert result.untestable
+        assert result.testable_coverage == 1.0
+
+    def test_on_scan_core(self):
+        netlist = generate_circuit(
+            GeneratorSpec(name="nd", inputs=8, outputs=4, flip_flops=6,
+                          target_gates=70, seed=41)
+        )
+        result = generate_n_detect_tests(netlist, n_detect=2, seed=41)
+        counts = detections_per_fault(netlist, result.test_set)
+        testable = {f for f in counts if f not in set(result.untestable)}
+        assert all(counts[f] >= 2 for f in testable)
+
+    def test_max_passes_bounds_work(self, c17):
+        result = generate_n_detect_tests(c17, n_detect=10, seed=1, max_passes=2)
+        # Capped passes may leave quotas unmet, but never over-report.
+        assert result.detected_count <= result.fault_count
+
+    def test_deterministic(self, c17):
+        a = generate_n_detect_tests(c17, n_detect=2, seed=9)
+        b = generate_n_detect_tests(c17, n_detect=2, seed=9)
+        assert [p.assignments for p in a.test_set] == (
+            [p.assignments for p in b.test_set]
+        )

@@ -1,0 +1,159 @@
+"""Unit tests for the netlist model (repro.circuit.netlist)."""
+
+import pytest
+
+from repro.circuit import (
+    GateType,
+    Netlist,
+    NetlistError,
+    compose_soc_netlist,
+    netlist_stats,
+)
+
+
+def tiny() -> Netlist:
+    netlist = Netlist("tiny")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(GateType.AND, "x", ["a", "b"])
+    netlist.add_gate(GateType.NOT, "y", ["x"])
+    netlist.mark_output("y")
+    return netlist
+
+
+class TestConstruction:
+    def test_stats(self):
+        stats = netlist_stats(tiny())
+        assert stats == {"inputs": 2, "outputs": 1, "gates": 2,
+                         "flip_flops": 0, "nets": 4}
+
+    def test_double_driver_rejected(self):
+        netlist = tiny()
+        with pytest.raises(NetlistError, match="already driven"):
+            netlist.add_gate(GateType.OR, "x", ["a", "b"])
+
+    def test_input_conflicts_with_gate_output(self):
+        netlist = tiny()
+        with pytest.raises(NetlistError):
+            netlist.add_input("y")
+
+    def test_gate_arity_enforced(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="at least"):
+            netlist.add_gate(GateType.AND, "z", ["a"])
+        with pytest.raises(NetlistError, match="at most"):
+            netlist.add_gate(GateType.NOT, "z", ["a", "a"])
+
+    def test_double_output_mark_rejected(self):
+        netlist = tiny()
+        with pytest.raises(NetlistError, match="already marked"):
+            netlist.mark_output("y")
+
+
+class TestValidation:
+    def test_undriven_gate_input(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        netlist.add_gate(GateType.AND, "z", ["a", "ghost"])
+        netlist.mark_output("z")
+        with pytest.raises(NetlistError, match="undriven net 'ghost'"):
+            netlist.validate()
+
+    def test_undriven_ff_data(self):
+        netlist = Netlist("n")
+        netlist.add_flip_flop("q", "ghost")
+        with pytest.raises(NetlistError, match="undriven"):
+            netlist.validate()
+
+    def test_undriven_output(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        netlist.outputs.append("ghost")  # bypass mark_output's check
+        with pytest.raises(NetlistError, match="undriven"):
+            netlist.validate()
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        netlist.add_gate(GateType.AND, "x", ["a", "y"])
+        netlist.add_gate(GateType.OR, "y", ["a", "x"])
+        netlist.mark_output("y")
+        with pytest.raises(NetlistError, match="cycle"):
+            netlist.validate()
+
+    def test_cycle_through_ff_is_fine(self, seq_netlist):
+        seq_netlist.validate()  # S -> NS -> S closes through the DFF
+
+
+class TestTopoAndViews:
+    def test_topological_order_respects_dependencies(self, c17):
+        order = [gate.output for gate in c17.topological_order()]
+        assert order.index("G11") < order.index("G16")
+        assert order.index("G16") < order.index("G22")
+
+    def test_combinational_views(self, seq_netlist):
+        assert seq_netlist.combinational_inputs() == ["A", "B", "S"]
+        assert seq_netlist.combinational_outputs() == ["Z", "NS"]
+
+    def test_fanout_map(self, c17):
+        fanout = c17.fanout_map()
+        assert {g.output for g in fanout["G11"]} == {"G16", "G19"}
+        assert fanout["G22"] == []
+
+
+class TestEvaluate:
+    def test_c17_known_vector(self, c17):
+        values = c17.evaluate({"G1": 0, "G2": 0, "G3": 0, "G6": 0, "G7": 0})
+        # G10=NAND(0,0)=1, G11=1, G16=NAND(0,1)=1, G19=1, G22=NAND(1,1)=0, G23=0
+        assert values["G22"] == 0 and values["G23"] == 0
+
+    def test_missing_inputs_default_to_x(self, c17):
+        values = c17.evaluate({"G3": 0})
+        assert values["G10"] == 1 and values["G11"] == 1  # NAND with a 0 input
+        assert values["G22"] is None  # depends on unset G2 via G16
+
+    def test_sequential_view_treats_ff_as_input(self, seq_netlist):
+        values = seq_netlist.evaluate({"A": 1, "B": 0, "S": 1})
+        assert values["NS"] == 1 and values["Z"] == 0
+
+
+class TestMerge:
+    def test_merge_renames_and_connects(self, c17):
+        parent = Netlist("parent")
+        parent.add_input("p0")
+        rename = parent.merge(c17, prefix="u_", connections={"G1": "p0"})
+        assert rename["G1"] == "p0"
+        assert "u_G22" in parent.nets
+        # Unconnected c17 inputs became parent primary inputs.
+        assert set(parent.inputs) >= {"p0", "u_G2", "u_G3", "u_G6", "u_G7"}
+
+    def test_merge_rejects_connection_to_non_input(self, c17):
+        parent = Netlist("parent")
+        parent.add_input("p0")
+        with pytest.raises(NetlistError, match="non-input"):
+            parent.merge(c17, prefix="u_", connections={"G22": "p0"})
+
+    def test_merge_rejects_undriven_source(self, c17):
+        parent = Netlist("parent")
+        with pytest.raises(NetlistError, match="undriven"):
+            parent.merge(c17, prefix="u_", connections={"G1": "ghost"})
+
+    def test_merge_preserves_function(self, c17):
+        parent = Netlist("parent")
+        parent.add_input("p0")
+        parent.merge(c17, prefix="u_", connections={"G1": "p0"})
+        parent.mark_output("u_G22")
+        parent.validate()
+        direct = c17.evaluate({"G1": 1, "G2": 0, "G3": 1, "G6": 0, "G7": 1})
+        merged = parent.evaluate(
+            {"p0": 1, "u_G2": 0, "u_G3": 1, "u_G6": 0, "u_G7": 1}
+        )
+        assert merged["u_G22"] == direct["G22"]
+
+    def test_compose_soc_netlist(self, c17, seq_netlist):
+        flat, renames = compose_soc_netlist("soc", [("u1", c17), ("u2", seq_netlist)])
+        flat.validate()
+        assert len(flat.outputs) == len(c17.outputs) + len(seq_netlist.outputs)
+        assert renames["u1"]["G22"] == "u1_G22"
+        assert len(flat.flip_flops) == 1

@@ -1,0 +1,144 @@
+"""Unit tests for test patterns and static compaction."""
+
+import random
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    TestPattern,
+    TestSet,
+    compaction_ratio,
+    random_pattern,
+    static_compact,
+)
+
+
+class TestTestPattern:
+    def test_conflict_detection(self):
+        a = TestPattern({0: 1, 1: 0})
+        b = TestPattern({1: 1})
+        c = TestPattern({1: 0, 2: 1})
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(c)
+        assert not a.conflicts_with(TestPattern({}))
+
+    def test_conflict_is_symmetric(self):
+        a = TestPattern({0: 1})
+        b = TestPattern({0: 0, 1: 1, 2: 0})
+        assert a.conflicts_with(b) == b.conflicts_with(a)
+
+    def test_merge_unions_assignments(self):
+        merged = TestPattern({0: 1}).merged_with(TestPattern({1: 0}))
+        assert merged.assignments == {0: 1, 1: 0}
+
+    def test_merge_does_not_mutate(self):
+        a = TestPattern({0: 1})
+        a.merged_with(TestPattern({1: 0}))
+        assert a.assignments == {0: 1}
+
+    def test_filled_assigns_every_input(self):
+        rng = random.Random(0)
+        filled = TestPattern({1: 0}).filled([0, 1, 2, 3], rng)
+        assert set(filled.assignments) == {0, 1, 2, 3}
+        assert filled.assignments[1] == 0  # care bits preserved
+
+    def test_as_trits(self):
+        pattern = TestPattern({0: 1})
+        assert pattern.as_trits([0, 1]) == {0: 1, 1: None}
+
+    def test_random_pattern_fully_specified(self):
+        pattern = random_pattern([3, 5, 7], random.Random(1))
+        assert set(pattern.assignments) == {3, 5, 7}
+        assert all(v in (0, 1) for v in pattern.assignments.values())
+
+
+class TestTestSet:
+    def test_filled_is_deterministic(self, c17):
+        circuit = CompiledCircuit(c17)
+        test_set = TestSet("c17", [TestPattern({circuit.input_ids[0]: 1})])
+        first = test_set.filled(circuit, seed=5)
+        second = test_set.filled(circuit, seed=5)
+        assert [p.assignments for p in first] == [p.assignments for p in second]
+
+    def test_filled_respects_care_bits(self, c17):
+        circuit = CompiledCircuit(c17)
+        care = {circuit.input_ids[2]: 0}
+        filled = TestSet("c17", [TestPattern(dict(care))]).filled(circuit, seed=1)
+        assert filled.patterns[0].assignments[circuit.input_ids[2]] == 0
+
+    def test_care_bit_fraction(self, c17):
+        circuit = CompiledCircuit(c17)
+        test_set = TestSet("c17", [TestPattern({circuit.input_ids[0]: 1})])
+        assert test_set.care_bit_fraction(circuit) == pytest.approx(1 / 5)
+
+    def test_care_bit_fraction_empty_rejected(self, c17):
+        circuit = CompiledCircuit(c17)
+        with pytest.raises(ValueError):
+            TestSet("c17").care_bit_fraction(circuit)
+
+
+class TestStaticCompact:
+    def test_disjoint_patterns_collapse_to_one(self):
+        patterns = [TestPattern({i: 1}) for i in range(10)]
+        assert len(static_compact(patterns)) == 1
+
+    def test_conflicting_patterns_stay_apart(self):
+        patterns = [TestPattern({0: 0}), TestPattern({0: 1})]
+        assert len(static_compact(patterns)) == 2
+
+    def test_stack_height_of_shared_input(self):
+        """Five patterns caring about input 0 with 3 zeros and 2 ones
+        compact to exactly two patterns."""
+        patterns = [
+            TestPattern({0: 0, 1: 1}),
+            TestPattern({0: 0, 2: 1}),
+            TestPattern({0: 0, 3: 1}),
+            TestPattern({0: 1, 4: 1}),
+            TestPattern({0: 1, 5: 1}),
+        ]
+        assert len(static_compact(patterns)) == 2
+
+    def test_merged_set_preserves_all_care_bits(self):
+        patterns = [
+            TestPattern({0: 0, 1: 1}),
+            TestPattern({2: 1}),
+            TestPattern({0: 1}),
+        ]
+        merged = static_compact(patterns)
+        for original in patterns:
+            assert any(
+                all(slot.assignments.get(k) == v
+                    for k, v in original.assignments.items())
+                for slot in merged
+            )
+
+    def test_never_grows(self):
+        rng = random.Random(3)
+        patterns = [
+            TestPattern({i: rng.getrandbits(1) for i in rng.sample(range(8), 3)})
+            for _ in range(40)
+        ]
+        assert len(static_compact(patterns)) <= 40
+
+    def test_deterministic(self):
+        rng = random.Random(4)
+        patterns = [
+            TestPattern({i: rng.getrandbits(1) for i in rng.sample(range(8), 3)})
+            for _ in range(30)
+        ]
+        first = static_compact(patterns)
+        second = static_compact(patterns)
+        assert [p.assignments for p in first] == [p.assignments for p in second]
+
+    def test_empty_input(self):
+        assert static_compact([]) == []
+
+    def test_compaction_ratio(self):
+        before = [TestPattern({i: 1}) for i in range(4)]
+        after = static_compact(before)
+        assert compaction_ratio(before, after) == 4.0
+
+    def test_compaction_ratio_empty_after_rejected(self):
+        with pytest.raises(ValueError):
+            compaction_ratio([TestPattern({})], [])

@@ -1,0 +1,56 @@
+"""Unit tests for scan insertion (repro.circuit.scan)."""
+
+import pytest
+
+from repro.circuit import chain_lengths, insert_scan
+from repro.synth import GeneratorSpec, generate_circuit
+
+
+@pytest.fixture
+def ff_netlist():
+    return generate_circuit(
+        GeneratorSpec(name="ffs", inputs=10, outputs=2, flip_flops=13,
+                      target_gates=80, seed=4)
+    )
+
+
+class TestInsertScan:
+    def test_every_cell_in_exactly_one_chain(self, ff_netlist):
+        insertion = insert_scan(ff_netlist, chain_count=4)
+        cells = [cell for chain in insertion.chains for cell in chain.cells]
+        assert sorted(cells) == sorted(ff.output for ff in ff_netlist.flip_flops)
+
+    def test_balanced_lengths_differ_by_at_most_one(self, ff_netlist):
+        insertion = insert_scan(ff_netlist, chain_count=4)
+        lengths = chain_lengths(insertion)
+        assert max(lengths) - min(lengths) <= 1
+        assert insertion.imbalance <= 1
+
+    def test_balanced_idle_bits_bounded_by_chain_count(self, ff_netlist):
+        insertion = insert_scan(ff_netlist, chain_count=4)
+        assert insertion.idle_bits_per_pattern() <= 4 - 1
+
+    def test_unbalanced_packs_contiguously(self, ff_netlist):
+        insertion = insert_scan(ff_netlist, chain_count=4, balanced=False)
+        lengths = chain_lengths(insertion)
+        assert lengths == [4, 4, 4, 1]
+        assert insertion.idle_bits_per_pattern() == (4 - 4) * 2 + (4 - 1)
+
+    def test_single_chain(self, ff_netlist):
+        insertion = insert_scan(ff_netlist, chain_count=1)
+        assert insertion.max_chain_length == 13
+        assert insertion.idle_bits_per_pattern() == 0
+
+    def test_more_chains_than_cells(self, ff_netlist):
+        insertion = insert_scan(ff_netlist, chain_count=20)
+        assert insertion.cell_count == 13
+        assert insertion.max_chain_length == 1
+
+    def test_zero_chains_rejected(self, ff_netlist):
+        with pytest.raises(ValueError):
+            insert_scan(ff_netlist, chain_count=0)
+
+    def test_combinational_circuit(self, c17):
+        insertion = insert_scan(c17, chain_count=2)
+        assert insertion.cell_count == 0
+        assert insertion.max_chain_length == 0

@@ -1,0 +1,141 @@
+"""Unit tests for the SOC data model (repro.soc.model)."""
+
+import pytest
+
+from repro.soc import Core, Soc, SocModelError, make_soc
+
+
+class TestCore:
+    def test_io_terminals_counts_bidirs_twice(self):
+        core = Core("c", inputs=3, outputs=4, bidirs=5)
+        assert core.io_terminals == 3 + 4 + 10
+
+    def test_scan_bits_per_pattern(self):
+        assert Core("c", scan_cells=7).scan_bits_per_pattern == 14
+
+    def test_defaults_are_zero(self):
+        core = Core("c")
+        assert core.io_terminals == 0
+        assert core.patterns == 0
+        assert not core.is_hierarchical
+
+    def test_hierarchical_flag(self):
+        assert Core("c", children=["d"]).is_hierarchical
+
+    def test_negative_fields_rejected(self):
+        for field in ("inputs", "outputs", "bidirs", "scan_cells", "patterns"):
+            with pytest.raises(SocModelError, match=field):
+                Core("c", **{field: -1})
+
+    def test_non_integer_fields_rejected(self):
+        with pytest.raises(SocModelError, match="must be an int"):
+            Core("c", inputs=1.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SocModelError):
+            Core("")
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(SocModelError, match="duplicate"):
+            Core("c", children=["d", "d"])
+
+    def test_self_embedding_rejected(self):
+        with pytest.raises(SocModelError, match="embed itself"):
+            Core("c", children=["c"])
+
+    def test_with_patterns_copies(self):
+        core = Core("c", inputs=2, scan_cells=3, patterns=4, children=["k"])
+        clone = core.with_patterns(9)
+        assert clone.patterns == 9
+        assert clone.inputs == 2 and clone.scan_cells == 3
+        assert clone.children == ["k"]
+        assert core.patterns == 4  # original untouched
+
+
+class TestSoc:
+    def test_lookup_and_len(self, flat_soc):
+        assert len(flat_soc) == 4
+        assert flat_soc["a"].scan_cells == 100
+        assert "b" in flat_soc and "nope" not in flat_soc
+
+    def test_unknown_core_raises_keyerror(self, flat_soc):
+        with pytest.raises(KeyError, match="nope"):
+            flat_soc["nope"]
+
+    def test_top_defaults_to_first_core(self):
+        soc = Soc("s", [Core("first"), Core("second")])
+        assert soc.top_name == "first"
+
+    def test_top_must_exist(self):
+        with pytest.raises(SocModelError, match="top core"):
+            Soc("s", [Core("a")], top="zzz")
+
+    def test_empty_soc_rejected(self):
+        with pytest.raises(SocModelError, match="at least one"):
+            Soc("s", [])
+
+    def test_duplicate_core_names_rejected(self):
+        with pytest.raises(SocModelError, match="duplicate"):
+            Soc("s", [Core("a"), Core("a")])
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(SocModelError, match="unknown core"):
+            Soc("s", [Core("a", children=["ghost"])])
+
+    def test_double_parent_rejected(self):
+        cores = [
+            Core("a", children=["c"]),
+            Core("b", children=["c"]),
+            Core("c"),
+        ]
+        with pytest.raises(SocModelError, match="embedded by both"):
+            Soc("s", cores)
+
+    def test_embedding_cycle_rejected(self):
+        cores = [Core("a", children=["b"]), Core("b", children=["a"])]
+        with pytest.raises(SocModelError, match="cycle"):
+            Soc("s", cores)
+
+    def test_aggregates(self, flat_soc):
+        assert flat_soc.total_scan_cells == 390
+        assert flat_soc.max_core_patterns == 200
+        assert flat_soc.chip_io_terminals == 16
+        assert flat_soc.pattern_counts() == [2, 50, 200, 20]
+
+    def test_children_and_parent(self, hier_soc):
+        assert [c.name for c in hier_soc.children_of("p")] == ["x", "y"]
+        assert hier_soc.parent_of("x").name == "p"
+        assert hier_soc.parent_of("top") is None
+
+    def test_parent_of_unknown_core_raises(self, hier_soc):
+        with pytest.raises(KeyError):
+            hier_soc.parent_of("ghost")
+
+    def test_descendants(self, hier_soc):
+        names = {c.name for c in hier_soc.descendants_of("top")}
+        assert names == {"p", "q", "x", "y"}
+        assert {c.name for c in hier_soc.descendants_of("p")} == {"x", "y"}
+        assert hier_soc.descendants_of("x") == []
+
+    def test_roots(self, hier_soc):
+        assert [c.name for c in hier_soc.roots()] == ["top"]
+
+    def test_multiple_roots_allowed(self):
+        soc = Soc("s", [Core("a"), Core("b")])
+        assert {c.name for c in soc.roots()} == {"a", "b"}
+
+    def test_depth(self, hier_soc):
+        assert hier_soc.depth_of("top") == 0
+        assert hier_soc.depth_of("p") == 1
+        assert hier_soc.depth_of("x") == 2
+
+    def test_iteration_order_is_insertion_order(self, flat_soc):
+        assert [c.name for c in flat_soc] == ["top", "a", "b", "c"]
+
+    def test_make_soc_accepts_generator(self):
+        soc = make_soc("g", (Core(f"c{i}") for i in range(3)))
+        assert len(soc) == 3
+
+    def test_repr_mentions_name_and_size(self, flat_soc):
+        text = repr(flat_soc)
+        assert "flat3" in text and "4" in text

@@ -1,0 +1,96 @@
+"""Unit tests for the SVG chart writer and the figure generators."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import Chart, Series, render_svg, save_svg
+from repro.core.svgplot import _nice_ticks
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.13, 2.7)
+        assert ticks[0] <= 0.13
+        assert ticks[-1] >= 2.7
+
+    def test_monotone_and_even_spacing(self):
+        ticks = _nice_ticks(-5, 105)
+        gaps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(gaps) == 1
+        assert ticks == sorted(ticks)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(3.0, 3.0)
+        assert ticks[0] <= 3.0 <= ticks[-1]
+
+
+class TestRenderSvg:
+    def make_chart(self):
+        chart = Chart(title="t & t", x_label="x", y_label="y")
+        chart.add(Series("a", [(0, 0), (1, 2), (2, 1)], draw_line=True))
+        chart.add(Series("b", [(0.5, 1.5)], labels=["only"]))
+        return chart
+
+    def test_is_well_formed_xml(self):
+        root = ET.fromstring(render_svg(self.make_chart()))
+        assert root.tag.endswith("svg")
+
+    def test_title_escaped(self):
+        text = render_svg(self.make_chart())
+        assert "t &amp; t" in text
+
+    def test_series_markers_present(self):
+        text = render_svg(self.make_chart())
+        assert text.count("<circle") >= 4 + 2  # points + legend dots
+
+    def test_line_only_for_line_series(self):
+        text = render_svg(self.make_chart())
+        assert text.count("<path") == 1
+
+    def test_point_labels_present(self):
+        assert ">only</text>" in render_svg(self.make_chart())
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError, match="no points"):
+            render_svg(Chart(title="e", x_label="x", y_label="y"))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Series("bad", [(0, 0)], labels=["a", "b"])
+
+    def test_deterministic(self):
+        chart = self.make_chart()
+        assert render_svg(chart) == render_svg(chart)
+
+    def test_save(self, tmp_path):
+        path = save_svg(tmp_path / "chart.svg", self.make_chart())
+        assert path.read_text().startswith("<svg")
+
+
+class TestFigureGenerators:
+    def test_generate_all(self, tmp_path):
+        from repro.experiments import generate_figures
+
+        written = generate_figures(tmp_path)
+        assert set(written) == {
+            "correlation", "synthetic_sweep", "shared_isolation",
+        }
+        for path in written.values():
+            root = ET.fromstring(path.read_text())
+            assert root.tag.endswith("svg")
+
+    def test_correlation_figure_labels_every_soc(self):
+        from repro.experiments.figures import correlation_figure
+
+        chart = correlation_figure()
+        text = render_svg(chart)
+        for name in ("g12710", "a586710", "d695"):
+            assert name in text
+
+    def test_shared_isolation_figure_crosses_zero(self):
+        from repro.experiments.figures import shared_isolation_figure
+
+        chart = shared_isolation_figure()
+        ys = [y for _x, y in chart.series[0].points]
+        assert max(ys) > 0 > min(ys)

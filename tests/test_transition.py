@@ -1,0 +1,118 @@
+"""Unit tests for transition-delay fault ATPG (repro.atpg.transition)."""
+
+import pytest
+
+from repro.atpg import (
+    CompiledCircuit,
+    TransitionFault,
+    generate_transition_tests,
+    transition_fault_universe,
+    transition_vs_stuck_at_patterns,
+)
+from repro.atpg.logicsim import pack_patterns, simulate, unpack_value
+from repro.circuit import insert_scan
+from repro.synth import GeneratorSpec, generate_circuit
+
+
+@pytest.fixture(scope="module")
+def scan_core():
+    return generate_circuit(
+        GeneratorSpec(name="tdf", inputs=10, outputs=4, flip_flops=12,
+                      target_gates=110, seed=7)
+    )
+
+
+class TestFaultModel:
+    def test_universe_has_both_polarities(self, c17):
+        circuit = CompiledCircuit(c17)
+        universe = transition_fault_universe(circuit)
+        assert len(universe) == 2 * circuit.net_count
+        rising = [f for f in universe if f.rising]
+        assert len(rising) == circuit.net_count
+
+    def test_polarity_values(self):
+        rise = TransitionFault(0, rising=True)
+        assert (rise.initial_value, rise.final_value) == (0, 1)
+        fall = TransitionFault(0, rising=False)
+        assert (fall.initial_value, fall.final_value) == (1, 0)
+
+    def test_describe(self, c17):
+        circuit = CompiledCircuit(c17)
+        fault = TransitionFault(circuit.net_ids["G10"], rising=True)
+        assert fault.describe(circuit) == "G10 slow-to-rise"
+
+
+class TestGeneration:
+    def test_combinational_circuit_has_no_launch_mechanism(self, c17):
+        """Under LOS the transition comes from the last shift; with no
+        scan cells and primary inputs held across the pair, nothing can
+        toggle — every fault is unlaunchable, none untestable."""
+        result = generate_transition_tests(c17, seed=1, fill_retries=32)
+        assert result.untestable == 0
+        assert result.unlaunchable == result.fault_count
+        assert result.fault_coverage == 0.0
+
+    def test_scan_core_reaches_useful_coverage(self, scan_core):
+        """With scan cells the shift launches transitions: a healthy
+        fraction of the universe gets satisfiable pairs."""
+        result = generate_transition_tests(scan_core, seed=7, fill_retries=16)
+        assert result.fault_coverage > 0.5
+
+    def test_pairs_satisfy_launch_condition(self, scan_core):
+        """V1 must put the fault site at the initial value — re-verified
+        by independent simulation."""
+        circuit = CompiledCircuit(scan_core)
+        result = generate_transition_tests(scan_core, seed=7)
+        assert result.pairs
+        for pair in result.pairs[:50]:
+            trits = [pair.initial.as_trits(circuit.input_ids)]
+            values = simulate(circuit, pack_patterns(circuit, trits), 1)
+            assert unpack_value(values[pair.fault.net], 0) == (
+                pair.fault.initial_value
+            ), pair.fault.describe(circuit)
+
+    def test_los_relation_holds(self, scan_core):
+        """V1's scan state must be the inverse shift of V2's: cell k of
+        V1 equals cell k+1's V2 requirement wherever V2 specified it."""
+        insertion = insert_scan(scan_core, chain_count=3)
+        result = generate_transition_tests(scan_core, insertion=insertion, seed=7)
+        circuit = CompiledCircuit(scan_core)
+        for pair in result.pairs[:20]:
+            for chain in insertion.chains:
+                assert chain.name in pair.launch_scan_in
+                assert pair.launch_scan_in[chain.name] in (0, 1)
+
+    def test_accounting_adds_up(self, scan_core):
+        result = generate_transition_tests(scan_core, seed=7)
+        assert (
+            result.detected_count + result.unlaunchable + result.untestable
+            == result.fault_count
+        )
+        assert result.pattern_pair_count == result.detected_count
+
+    def test_deterministic(self, scan_core):
+        a = generate_transition_tests(scan_core, seed=5)
+        b = generate_transition_tests(scan_core, seed=5)
+        assert a.detected_count == b.detected_count
+        assert [p.initial.assignments for p in a.pairs] == (
+            [p.initial.assignments for p in b.pairs]
+        )
+
+    def test_restricted_fault_list(self, c17):
+        circuit = CompiledCircuit(c17)
+        some = transition_fault_universe(circuit)[:6]
+        result = generate_transition_tests(c17, seed=1, faults=some)
+        assert result.fault_count == 6
+
+    def test_more_retries_never_hurt(self, scan_core):
+        few = generate_transition_tests(scan_core, seed=3, fill_retries=1)
+        many = generate_transition_tests(scan_core, seed=3, fill_retries=16)
+        assert many.detected_count >= few.detected_count
+
+
+class TestAtSpeedMultiplier:
+    def test_transition_needs_more_patterns(self, scan_core):
+        """The at-speed data multiplier: TDF pairs outnumber stuck-at
+        patterns on a full-scan core."""
+        stuck_at, transition = transition_vs_stuck_at_patterns(scan_core, seed=7)
+        assert transition > stuck_at

@@ -1,0 +1,103 @@
+"""Unit tests for the five-valued D-algebra (repro.atpg.values)."""
+
+import pytest
+
+from repro.atpg import (
+    D,
+    DBAR,
+    ONE,
+    X,
+    ZERO,
+    compose,
+    evaluate_gate5,
+    faulty_value,
+    fold_gate5,
+    good_value,
+    invert,
+    is_faulted,
+)
+from repro.circuit import GateType
+
+
+class TestComponents:
+    def test_good_and_faulty_components(self):
+        assert (good_value(D), faulty_value(D)) == (1, 0)
+        assert (good_value(DBAR), faulty_value(DBAR)) == (0, 1)
+        assert (good_value(X), faulty_value(X)) == (None, None)
+        assert (good_value(ONE), faulty_value(ONE)) == (1, 1)
+
+    def test_compose_round_trip(self):
+        for value in (ZERO, ONE, X, D, DBAR):
+            assert compose(good_value(value), faulty_value(value)) == value
+
+    def test_compose_half_known_collapses_to_x(self):
+        assert compose(1, None) == X
+        assert compose(None, 0) == X
+
+    def test_is_faulted(self):
+        assert is_faulted(D) and is_faulted(DBAR)
+        assert not any(is_faulted(v) for v in (ZERO, ONE, X))
+
+    def test_invert(self):
+        assert invert(D) == DBAR
+        assert invert(DBAR) == D
+        assert invert(ZERO) == ONE
+        assert invert(X) == X
+
+
+class TestDAlgebra:
+    def test_and_with_d(self):
+        assert evaluate_gate5(GateType.AND, [D, ONE]) == D
+        assert evaluate_gate5(GateType.AND, [D, ZERO]) == ZERO
+        assert evaluate_gate5(GateType.AND, [D, DBAR]) == ZERO  # 1&0 / 0&1
+
+    def test_or_with_d(self):
+        assert evaluate_gate5(GateType.OR, [D, ZERO]) == D
+        assert evaluate_gate5(GateType.OR, [D, ONE]) == ONE
+        assert evaluate_gate5(GateType.OR, [D, DBAR]) == ONE
+
+    def test_xor_propagates_d(self):
+        assert evaluate_gate5(GateType.XOR, [D, ZERO]) == D
+        assert evaluate_gate5(GateType.XOR, [D, ONE]) == DBAR
+        assert evaluate_gate5(GateType.XOR, [D, D]) == ZERO
+
+    def test_nand_with_d(self):
+        assert evaluate_gate5(GateType.NAND, [D, ONE]) == DBAR
+
+    def test_x_blocks_propagation(self):
+        assert evaluate_gate5(GateType.AND, [D, X]) == X
+        assert evaluate_gate5(GateType.OR, [D, X]) == X
+
+    def test_controlling_value_beats_d_and_x(self):
+        assert evaluate_gate5(GateType.AND, [ZERO, D]) == ZERO
+        assert evaluate_gate5(GateType.NOR, [ONE, X]) == ZERO
+
+
+class TestFoldMatchesEvaluate:
+    @pytest.mark.parametrize("gate_type", list(GateType))
+    def test_exhaustive_two_input_agreement(self, gate_type):
+        arity = 1 if gate_type in (GateType.NOT, GateType.BUF) else 2
+        values = (ZERO, ONE, X, D, DBAR)
+        if arity == 1:
+            for a in values:
+                assert fold_gate5(gate_type, [a]) == evaluate_gate5(gate_type, [a])
+        else:
+            for a in values:
+                for b in values:
+                    assert fold_gate5(gate_type, [a, b]) == (
+                        evaluate_gate5(gate_type, [a, b])
+                    )
+
+    @pytest.mark.parametrize(
+        "gate_type",
+        [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+         GateType.XOR, GateType.XNOR],
+    )
+    def test_three_input_agreement_sample(self, gate_type):
+        values = (ZERO, ONE, X, D, DBAR)
+        for a in values:
+            for b in values:
+                for c in values:
+                    assert fold_gate5(gate_type, [a, b, c]) == (
+                        evaluate_gate5(gate_type, [a, b, c])
+                    )
