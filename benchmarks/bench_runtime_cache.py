@@ -1,0 +1,76 @@
+"""Runtime layer: cold-vs-warm cache and serial-vs-parallel wall-clock.
+
+Not a paper artifact — this pins the perf trajectory of the
+repro.runtime execution layer on the heaviest reproduction flow (the
+ISCAS SOC1 experiment of Table 1), so later scaling PRs have a number
+to beat:
+
+* cold, serial: the pre-runtime baseline cost;
+* cold, parallel: per-core/glue/monolithic fan-out across processes;
+* warm: every ATPG job served from the content-addressed cache.
+
+The warm path must also be *correct*: 100% hit rate and results
+identical to the cold run.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.iscas_socs import run_soc1
+from repro.runtime import AtpgResultCache, Runtime
+
+from conftest import run_once
+
+SEED = 3
+
+
+def _run(cache_dir, workers):
+    cache = AtpgResultCache(cache_dir) if cache_dir is not None else None
+    runtime = Runtime(workers=workers, cache=cache)
+    experiment = run_soc1(SEED, runtime=runtime)
+    return experiment, runtime
+
+
+def test_bench_cold_serial(benchmark, tmp_path):
+    experiment, runtime = run_once(benchmark, _run, tmp_path / "cache", 1)
+    print(f"\ncold serial: {runtime.summary()}")
+    assert runtime.manifest.hit_rate == 0.0
+    assert experiment.monolithic_patterns > experiment.max_core_patterns
+
+
+def test_bench_cold_parallel(benchmark, tmp_path):
+    experiment, runtime = run_once(benchmark, _run, tmp_path / "cache", 4)
+    print(f"\ncold parallel: {runtime.summary()}")
+    assert runtime.manifest.hit_rate == 0.0
+    assert experiment.monolithic_patterns > experiment.max_core_patterns
+
+
+def test_bench_warm_cache(benchmark, tmp_path):
+    cache_dir = tmp_path / "cache"
+    start = time.perf_counter()
+    cold, _ = _run(cache_dir, 1)
+    cold_seconds = time.perf_counter() - start
+
+    warm, runtime = run_once(benchmark, _run, cache_dir, 1)
+    print(f"\nwarm: {runtime.summary()} (cold run took {cold_seconds:.2f}s)")
+    # The whole point: zero ATPG work on the warm path...
+    assert runtime.manifest.hit_rate == 1.0
+    assert runtime.manifest.atpg_seconds == 0.0
+    # ...and identical science.
+    assert warm.monolithic_patterns == cold.monolithic_patterns
+    assert warm.decomposition.tdv_modular == cold.decomposition.tdv_modular
+    assert {n: r.pattern_count for n, r in warm.core_results.items()} == \
+        {n: r.pattern_count for n, r in cold.core_results.items()}
+
+
+def test_bench_uncached_parallel_speedup_processes_spawn(benchmark):
+    """Parallel fan-out must at least not regress on the SOC1 job mix.
+
+    The monolithic run dominates SOC1, so the ceiling here is modest —
+    the assertion guards the executor's overhead, not Amdahl's law.
+    """
+    experiment, runtime = run_once(benchmark, _run, None, 4)
+    print(f"\nuncached parallel: {runtime.summary()}")
+    assert runtime.manifest.job_count == 5  # 3 profiles + glue + monolithic
+    assert experiment.mono_result.testable_coverage > 0.99

@@ -27,6 +27,10 @@ and every substrate its evaluation depends on:
     paper scopes out (idle bits, imbalanced chains).
 ``repro.experiments``
     One module per paper table/figure, plus a CLI runner.
+``repro.runtime``
+    The execution layer: run identity (``AtpgConfig``), the
+    content-addressed ATPG result cache, and the parallel executor
+    behind every experiment (``Runtime``).
 """
 
 from .core import (
@@ -44,7 +48,21 @@ from .soc import Core, Soc, SocBuilder, flatten, isocost
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    # The runtime facade re-exported lazily: it drags in the ATPG stack,
+    # which plain TDV-model users never need to import.
+    if name in ("AtpgConfig", "Runtime", "AtpgResultCache"):
+        from . import runtime
+
+        return getattr(runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AtpgConfig",
+    "AtpgResultCache",
+    "Runtime",
     "Core",
     "Soc",
     "SocBuilder",

@@ -11,7 +11,11 @@ gestures at, made measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from ..runtime.config import AtpgConfig
+    from .engine import AtpgResult
 
 from ..circuit.netlist import Netlist
 from .compiled import CompiledCircuit
@@ -137,15 +141,26 @@ def compare_bist_vs_ate(
     netlist: Netlist,
     bist_patterns: int = 1024,
     seed: int = 1,
+    config: Optional["AtpgConfig"] = None,
+    ate_result: Optional["AtpgResult"] = None,
 ) -> BistVsAteComparison:
-    """External-data comparison: BIST session vs deterministic scan test."""
+    """External-data comparison: BIST session vs deterministic scan test.
+
+    ``config`` gives the ATE-side ATPG run a full identity
+    (:class:`repro.runtime.config.AtpgConfig`; its seed also drives the
+    LFSR); ``ate_result`` lets callers inject a result obtained through
+    the runtime's cache/executor instead of rerunning ATPG here.
+    """
     from .engine import generate_tests
     from .export import model_bits
 
+    if config is not None:
+        seed = config.seed
     bist = run_bist(netlist, patterns=bist_patterns, seed=seed)
-    ate = generate_tests(netlist, seed=seed)
+    if ate_result is None:
+        ate_result = generate_tests(netlist, seed=seed, config=config)
     return BistVsAteComparison(
         bist=bist,
-        ate_patterns=ate.pattern_count,
-        ate_bits=model_bits(netlist, ate.pattern_count),
+        ate_patterns=ate_result.pattern_count,
+        ate_bits=model_bits(netlist, ate_result.pattern_count),
     )

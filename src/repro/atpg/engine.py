@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from ..circuit.cones import Cone, extract_cones
 from ..circuit.netlist import Netlist
+from ..runtime.config import AtpgConfig
 from .compaction import static_compact
 from .compiled import CompiledCircuit
 from .faults import Fault, collapse_faults
@@ -60,6 +61,7 @@ def generate_tests(
     compact: bool = True,
     faults: Optional[List[Fault]] = None,
     dynamic_compaction: int = 0,
+    config: Optional[AtpgConfig] = None,
 ) -> AtpgResult:
     """Run the full ATPG flow on a netlist's full-scan view.
 
@@ -74,7 +76,18 @@ def generate_tests(
     PODEM success, up to that many queued faults are attempted with the
     fresh pattern's assignments frozen, extending the pattern instead
     of starting new ones — fewer, denser patterns at some CPU cost.
+
+    ``config`` is the bundled form of the engine knobs
+    (:class:`repro.runtime.config.AtpgConfig`); when given it overrides
+    the individual keyword arguments, so a run's identity — what the
+    runtime cache keys results on — lives in one value.
     """
+    if config is not None:
+        seed = config.seed
+        backtrack_limit = config.backtrack_limit
+        random_batches = config.random_batches
+        compact = config.compact
+        dynamic_compaction = config.dynamic_compaction
     circuit = CompiledCircuit(netlist)
     if faults is None:
         faults = collapse_faults(circuit)
@@ -203,6 +216,7 @@ def generate_n_detect_tests(
     seed: int = 0,
     backtrack_limit: int = 100,
     max_passes: Optional[int] = None,
+    config: Optional[AtpgConfig] = None,
 ) -> AtpgResult:
     """N-detect test generation: every fault observed ``n_detect`` times.
 
@@ -218,6 +232,9 @@ def generate_n_detect_tests(
     (re-verified as a whole); ``detected_count`` counts faults that met
     the full quota.
     """
+    if config is not None:
+        seed = config.seed
+        backtrack_limit = config.backtrack_limit
     if n_detect < 1:
         raise ValueError(f"n_detect must be >= 1, got {n_detect}")
     circuit = CompiledCircuit(netlist)

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuit.netlist import Netlist
 from ..circuit.scan import ScanInsertion, insert_scan
+from ..runtime.config import AtpgConfig
 from .compiled import CompiledCircuit
 from .faults import Fault
 from .logicsim import pack_patterns, simulate, unpack_value
@@ -128,6 +129,7 @@ def generate_transition_tests(
     fill_retries: int = 8,
     backtrack_limit: int = 100,
     faults: Optional[List[TransitionFault]] = None,
+    config: Optional[AtpgConfig] = None,
 ) -> TransitionAtpgResult:
     """LOS transition-fault test generation.
 
@@ -136,7 +138,14 @@ def generate_transition_tests(
     are filled (several seeds) until a completion satisfies the launch
     condition (net at the initial value under V1).  Primary inputs are
     shared by V1/V2, so V2's PI assignment carries over.
+
+    ``config`` overrides ``seed``/``backtrack_limit`` so transition runs
+    share the stuck-at flow's run identity
+    (:class:`repro.runtime.config.AtpgConfig`).
     """
+    if config is not None:
+        seed = config.seed
+        backtrack_limit = config.backtrack_limit
     circuit = CompiledCircuit(netlist)
     if insertion is None:
         insertion = insert_scan(netlist, chain_count=1)

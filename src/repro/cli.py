@@ -9,7 +9,12 @@ Subcommands::
     repro experiments <name>          regenerate a paper table/figure
     repro figures <dir>               write the SVG figures
 
-Everything prints plain text; exit status is non-zero on bad input.
+The ATPG-running subcommands (``atpg``, ``vectors``, ``experiments``)
+share the :mod:`repro.runtime` execution flags — ``--workers`` for
+process-parallel fan-out, ``--cache-dir`` / ``--no-cache`` for the
+content-addressed result cache — and report the run manifest on
+stderr.  Everything prints plain text; exit status is non-zero on bad
+input.
 """
 
 from __future__ import annotations
@@ -19,10 +24,16 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .atpg import dump_vectors, export_program, generate_tests
+from .atpg import dump_vectors, export_program
 from .circuit import load_bench_file, load_verilog_file, netlist_stats
 from .core import decompose, soc_table, summarize
-from .experiments.runner import EXPERIMENTS, run_experiment
+from .experiments.runner import (
+    EXPERIMENTS,
+    add_runtime_arguments,
+    report_runtime,
+    run_experiment,
+    runtime_from_args,
+)
 from .itc02 import benchmark_names, load
 from .itc02.stats import explain_outcome, suite_report
 from .soc.diagram import hierarchy_summary, hierarchy_tree
@@ -73,7 +84,9 @@ def _load_netlist(path: str):
 def _cmd_atpg(args: argparse.Namespace) -> int:
     netlist = _load_netlist(args.design)
     print(f"{netlist.name}: {netlist_stats(netlist)}")
-    result = generate_tests(netlist, seed=args.seed)
+    runtime = runtime_from_args(args, seed=args.seed)
+    result = runtime.generate(netlist)
+    report_runtime(runtime)
     print(f"patterns: {result.pattern_count} "
           f"(random {result.random_pattern_count}, deterministic "
           f"{result.deterministic_pattern_count} from "
@@ -86,7 +99,9 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 
 def _cmd_vectors(args: argparse.Namespace) -> int:
     netlist = _load_netlist(args.design)
-    result = generate_tests(netlist, seed=args.seed)
+    runtime = runtime_from_args(args, seed=args.seed)
+    result = runtime.generate(netlist)
+    report_runtime(runtime)
     program = export_program(netlist, result, chain_count=args.chains)
     text = dump_vectors(program)
     if args.output:
@@ -114,6 +129,7 @@ def _cmd_itc02(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    runtime = runtime_from_args(args)
     names = EXPERIMENTS if args.name == "all" else (args.name,)
     seen = set()
     for name in names:
@@ -121,8 +137,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         if key in seen:
             continue
         seen.add(key)
-        run_experiment(name, seed=args.seed)
+        run_experiment(name, seed=args.seed, runtime=runtime)
         print()
+    report_runtime(runtime)
     return 0
 
 
@@ -153,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     atpg = subparsers.add_parser("atpg", help="run ATPG on a .bench netlist")
     atpg.add_argument("design", help="path to a .bench netlist")
     atpg.add_argument("--seed", type=int, default=0)
+    add_runtime_arguments(atpg)
     atpg.set_defaults(func=_cmd_atpg)
 
     vectors = subparsers.add_parser(
@@ -162,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     vectors.add_argument("--seed", type=int, default=0)
     vectors.add_argument("--chains", type=int, default=1)
     vectors.add_argument("-o", "--output", default=None)
+    add_runtime_arguments(vectors)
     vectors.set_defaults(func=_cmd_vectors)
 
     itc02 = subparsers.add_parser("itc02", help="inspect the ITC'02 benchmarks")
@@ -173,7 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate a paper table/figure"
     )
     experiments.add_argument("name", choices=EXPERIMENTS + ("all",))
-    experiments.add_argument("--seed", type=int, default=3)
+    experiments.add_argument("--seed", type=int, default=None,
+                             help="threaded into every experiment (default: "
+                                  "each experiment's historical seed)")
+    add_runtime_arguments(experiments)
     experiments.set_defaults(func=_cmd_experiments)
 
     figures = subparsers.add_parser(

@@ -140,3 +140,92 @@ def dumps(data: Dict[str, Any], indent: int = 2) -> str:
 
 def loads_soc(text: str) -> Soc:
     return soc_from_dict(json.loads(text))
+
+
+# -- ATPG results -------------------------------------------------------------
+#
+# The runtime cache (repro.runtime.cache) persists AtpgResult values on
+# disk through these converters.  Pattern assignments are keyed by
+# compiled net id — deterministic for a given netlist, so they survive
+# the round-trip as long as the cache key covers the netlist content
+# (it does: see repro.runtime.cache.netlist_fingerprint).  The atpg
+# imports are function-local: repro.core is imported by the top-level
+# package and must stay independent of the ATPG stack at module scope.
+
+
+def test_pattern_to_dict(pattern) -> Dict[str, Any]:
+    """One TestPattern as {net id (str): 0/1}; unlisted inputs are X."""
+    return {str(net_id): value for net_id, value in pattern.assignments.items()}
+
+
+def test_pattern_from_dict(data: Dict[str, Any]):
+    from ..atpg.patterns import TestPattern
+
+    return TestPattern({int(net_id): value for net_id, value in data.items()})
+
+
+def test_set_to_dict(test_set) -> Dict[str, Any]:
+    return {
+        "circuit": test_set.circuit_name,
+        "patterns": [test_pattern_to_dict(p) for p in test_set.patterns],
+    }
+
+
+def test_set_from_dict(data: Dict[str, Any]):
+    from ..atpg.patterns import TestSet
+
+    return TestSet(
+        circuit_name=data["circuit"],
+        patterns=[test_pattern_from_dict(p) for p in data["patterns"]],
+    )
+
+
+def fault_to_dict(fault) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"net": fault.net, "stuck_at": fault.stuck_at}
+    if fault.gate_index is not None:
+        entry["gate_index"] = fault.gate_index
+        entry["pin"] = fault.pin
+    return entry
+
+
+def fault_from_dict(data: Dict[str, Any]):
+    from ..atpg.faults import Fault
+
+    return Fault(
+        net=data["net"],
+        stuck_at=data["stuck_at"],
+        gate_index=data.get("gate_index"),
+        pin=data.get("pin"),
+    )
+
+
+def atpg_result_to_dict(result) -> Dict[str, Any]:
+    """One AtpgResult as a JSON-ready dict (schema-versioned)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "circuit": result.circuit_name,
+        "test_set": test_set_to_dict(result.test_set),
+        "fault_count": result.fault_count,
+        "detected_count": result.detected_count,
+        "untestable": [fault_to_dict(f) for f in result.untestable],
+        "aborted": [fault_to_dict(f) for f in result.aborted],
+        "random_pattern_count": result.random_pattern_count,
+        "deterministic_pattern_count": result.deterministic_pattern_count,
+        "pre_compaction_count": result.pre_compaction_count,
+    }
+
+
+def atpg_result_from_dict(data: Dict[str, Any]):
+    from ..atpg.engine import AtpgResult
+
+    return AtpgResult(
+        circuit_name=data["circuit"],
+        test_set=test_set_from_dict(data["test_set"]),
+        fault_count=data["fault_count"],
+        detected_count=data["detected_count"],
+        untestable=[fault_from_dict(f) for f in data["untestable"]],
+        aborted=[fault_from_dict(f) for f in data["aborted"]],
+        random_pattern_count=data["random_pattern_count"],
+        deterministic_pattern_count=data["deterministic_pattern_count"],
+        pre_compaction_count=data["pre_compaction_count"],
+    )

@@ -11,7 +11,10 @@ pattern-count variation — survives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from ..runtime.session import Runtime
 
 from ..core.report import format_table
 from ..core.sweep import SweepPoint, sweep_core_count, sweep_wrapper_overhead
@@ -140,8 +143,17 @@ def _render_sweep(points: List[SweepPoint], parameter_label: str) -> str:
     return format_table([parameter_label, "TDV reduction", "penalty share"], rows)
 
 
-def run(verbose: bool = True) -> Dict[str, object]:
-    """CLI entry point: all three ablations."""
+def run(
+    verbose: bool = True,
+    seed: Optional[int] = None,
+    runtime: Optional["Runtime"] = None,
+) -> Dict[str, object]:
+    """CLI entry point: all three ablations.
+
+    The ablations are analytic (published pattern counts, closed-form
+    sweeps) — ``seed``/``runtime`` are accepted for entry-point
+    uniformity and have no effect.
+    """
     idle = idle_bit_ablation()
     overhead = wrapper_overhead_ablation()
     granularity = granularity_ablation()

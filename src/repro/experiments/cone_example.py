@@ -16,11 +16,11 @@ compact worse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..atpg.compaction import static_compact
 from ..atpg.compiled import CompiledCircuit
-from ..atpg.engine import extract_cone_netlist, generate_tests
+from ..atpg.engine import extract_cone_netlist
 from ..atpg.patterns import TestPattern
 from ..circuit.cones import extract_cones, overlap_fraction
 from ..circuit.netlist import Netlist
@@ -30,6 +30,8 @@ from ..itc02.paper_tables import (
     CONE_EXAMPLE_MONOLITHIC_BITS,
     CONE_EXAMPLE_PATTERNS,
 )
+from ..runtime.executor import AtpgJob
+from ..runtime.session import Runtime, ensure_runtime
 from ..synth.generator import GeneratorSpec, generate_circuit
 
 
@@ -99,14 +101,22 @@ class ConeCompactionDemo:
         return self.merged_pattern_count - self.max_cone_patterns
 
 
-def compaction_demo(overlap: float, seed: int = 11, cones: int = 6) -> ConeCompactionDemo:
+def compaction_demo(
+    overlap: float,
+    seed: int = 11,
+    cones: int = 6,
+    runtime: Optional[Runtime] = None,
+) -> ConeCompactionDemo:
     """Generate a circuit at the given cone overlap and measure compaction.
 
     Per-cone ATPG produces partial pattern sets; merging them with
     static compaction shows whether the circuit-level count stays at the
     per-cone maximum (disjoint cones, Figure 1(a)) or exceeds it due to
-    conflicting stimulus bits (overlapping cones, Figure 1(b)).
+    conflicting stimulus bits (overlapping cones, Figure 1(b)).  The
+    per-cone runs are independent, so they go through the runtime as
+    one parallel batch.
     """
+    runtime = ensure_runtime(runtime)
     spec = GeneratorSpec(
         name=f"cone_demo_{overlap:g}",
         inputs=cones * 6,
@@ -123,11 +133,15 @@ def compaction_demo(overlap: float, seed: int = 11, cones: int = 6) -> ConeCompa
     circuit = CompiledCircuit(netlist)
     extracted = extract_cones(netlist)
 
+    config = runtime.config.with_seed(seed)
+    subs = [extract_cone_netlist(netlist, cone) for cone in extracted]
+    results = runtime.map(
+        [AtpgJob(name=sub.name, netlist=sub, config=config) for sub in subs]
+    )
+
     per_cone_counts: List[int] = []
     all_partials: List[TestPattern] = []
-    for cone in extracted:
-        sub = extract_cone_netlist(netlist, cone)
-        result = generate_tests(sub, seed=seed)
+    for sub, result in zip(subs, results):
         per_cone_counts.append(result.pattern_count)
         # Re-key the cone's patterns onto the parent circuit's net ids —
         # cone inputs are parent nets, so only the id space changes.
@@ -148,8 +162,14 @@ def compaction_demo(overlap: float, seed: int = 11, cones: int = 6) -> ConeCompa
     )
 
 
-def run(verbose: bool = True) -> ConeExampleResult:
+def run(
+    verbose: bool = True,
+    seed: Optional[int] = None,
+    runtime: Optional[Runtime] = None,
+) -> ConeExampleResult:
     """The experiment entry point used by the CLI runner."""
+    if seed is None:
+        seed = 11
     result = cone_example()
     if verbose:
         print("Section 3 worked example (Figures 1-2)")
@@ -160,7 +180,7 @@ def run(verbose: bool = True) -> ConeExampleResult:
               f"{CONE_EXAMPLE_MODULAR_BITS:,})")
         print(f"  reduction:       {result.reduction_percent:.1f}% (paper: 25.0%)")
         for overlap in (0.0, 0.8):
-            demo = compaction_demo(overlap)
+            demo = compaction_demo(overlap, seed=seed, runtime=runtime)
             print(
                 f"  ATPG demo overlap={overlap:.1f}: cone patterns "
                 f"{demo.per_cone_patterns}, merged {demo.merged_pattern_count} "

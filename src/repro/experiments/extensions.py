@@ -20,8 +20,9 @@ measure, answered with the library's substrates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..runtime.session import Runtime, ensure_runtime
 from ..atpg import (
     CompiledCircuit,
     Podem,
@@ -39,13 +40,24 @@ from ..tam import AbortOnFailStudy, core_specs_from_soc
 from ..tam import study as abort_study
 
 
-def bist_study(seed: int = 9, bist_patterns: int = 2048) -> BistVsAteComparison:
+def bist_study(
+    seed: int = 9,
+    bist_patterns: int = 2048,
+    runtime: Optional[Runtime] = None,
+) -> BistVsAteComparison:
     """BIST vs ATE external data volume on a mid-size generated core."""
+    runtime = ensure_runtime(runtime)
     netlist = generate_circuit(
         GeneratorSpec(name="bist_core", inputs=20, outputs=12, flip_flops=48,
                       target_gates=420, seed=seed)
     )
-    return compare_bist_vs_ate(netlist, bist_patterns=bist_patterns, seed=seed)
+    config = runtime.config.with_seed(seed)
+    # The ATE half is a plain stuck-at run — route it through the
+    # runtime so it caches and parallelizes like every other T.
+    ate_result = runtime.generate(netlist, config=config)
+    return compare_bist_vs_ate(
+        netlist, bist_patterns=bist_patterns, config=config, ate_result=ate_result
+    )
 
 
 def fill_study(seed: int = 9) -> Dict[str, Dict[str, float]]:
@@ -191,21 +203,23 @@ class AtSpeedStudy:
         return self.transition_pairs / self.stuck_at_patterns
 
 
-def at_speed_study(seed: int = 7) -> AtSpeedStudy:
+def at_speed_study(seed: int = 7, runtime: Optional[Runtime] = None) -> AtSpeedStudy:
     """The at-speed data multiplier on a generated full-scan core.
 
     Transition tests reuse the same scan infrastructure (same bits per
     pattern), so the TDV impact is purely the pattern-count multiplier —
     which feeds straight into the paper's per-core ``T`` values.
     """
-    from ..atpg import generate_transition_tests, generate_tests
+    from ..atpg import generate_transition_tests
 
+    runtime = ensure_runtime(runtime)
     netlist = generate_circuit(
         GeneratorSpec(name="atspeed_core", inputs=10, outputs=4,
                       flip_flops=12, target_gates=110, seed=seed)
     )
-    stuck_at = generate_tests(netlist, seed=seed)
-    transition = generate_transition_tests(netlist, seed=seed, fill_retries=16)
+    config = runtime.config.with_seed(seed)
+    stuck_at = runtime.generate(netlist, config=config)
+    transition = generate_transition_tests(netlist, fill_retries=16, config=config)
     return AtSpeedStudy(
         stuck_at_patterns=stuck_at.pattern_count,
         transition_pairs=transition.pattern_pair_count,
@@ -213,14 +227,26 @@ def at_speed_study(seed: int = 7) -> AtSpeedStudy:
     )
 
 
-def run(verbose: bool = True) -> Dict[str, object]:
-    """CLI entry point for the extension studies."""
-    bist = bist_study()
-    partial, filled = compression_study()
+def run(
+    verbose: bool = True,
+    seed: Optional[int] = None,
+    runtime: Optional[Runtime] = None,
+) -> Dict[str, object]:
+    """CLI entry point for the extension studies.
+
+    ``seed=None`` keeps each study's historical default seed (9/21/7);
+    an explicit seed overrides all of them uniformly — previously the
+    runner's ``--seed`` was silently dropped here.
+    """
+    runtime = ensure_runtime(runtime)
+    bist = bist_study(**({} if seed is None else {"seed": seed}), runtime=runtime)
+    partial, filled = compression_study(**({} if seed is None else {"seed": seed}))
     abort = abort_on_fail_study()
-    points = test_point_study()
-    at_speed = at_speed_study()
-    fill = fill_study()
+    points = test_point_study(**({} if seed is None else {"seed": seed}))
+    at_speed = at_speed_study(
+        **({} if seed is None else {"seed": seed}), runtime=runtime
+    )
+    fill = fill_study(**({} if seed is None else {"seed": seed}))
     if verbose:
         print("Extension 1: BIST vs external test data")
         print(f"  ATE scan test: {bist.ate_patterns} patterns, "

@@ -18,12 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..atpg.engine import AtpgResult, generate_tests
+from ..atpg.engine import AtpgResult
 from ..core.analysis import pessimism_factor
 from ..core.decomposition import Decomposition, decompose
 from ..core.report import soc_table
 from ..core.tdv import tdv_monolithic, tdv_monolithic_optimistic
 from ..itc02 import paper_tables
+from ..runtime.executor import AtpgJob
+from ..runtime.session import Runtime, ensure_runtime
 from ..soc.model import Core, Soc
 from ..synth.socgen import SocDesign, elaborate, soc1_design, soc2_design
 
@@ -68,19 +70,38 @@ class IscasSocExperiment:
         return soc_table(self.soc, actual_monolithic_patterns=self.monolithic_patterns)
 
 
-def _run_design(design: SocDesign, seed: int) -> IscasSocExperiment:
+def _run_design(
+    design: SocDesign, seed: int, runtime: Optional[Runtime] = None
+) -> IscasSocExperiment:
+    runtime = ensure_runtime(runtime)
     elaborate(design, seed=seed)
-    core_results: Dict[str, AtpgResult] = {}
-    # Identical profiles share a netlist, hence a test set (test reuse).
-    cached: Dict[str, AtpgResult] = {}
-    for instance, profile_name in design.instances:
-        if profile_name not in cached:
-            cached[profile_name] = generate_tests(
-                design.core_netlists[instance], seed=seed
-            )
-        core_results[instance] = cached[profile_name]
-    glue_result = generate_tests(design.glue, seed=seed)
-    mono_result = generate_tests(design.monolithic, seed=seed)
+    config = runtime.config.with_seed(seed)
+    # Identical profiles share a netlist, hence one ATPG job and one
+    # test set (the paper's test-reuse situation); glue and monolithic
+    # runs join the same batch so everything fans out together.
+    unique_profiles: List[str] = []
+    for _instance, profile_name in design.instances:
+        if profile_name not in unique_profiles:
+            unique_profiles.append(profile_name)
+    netlist_of = {
+        profile_name: design.core_netlists[instance]
+        for instance, profile_name in design.instances
+    }
+    jobs = [
+        AtpgJob(name=profile_name, netlist=netlist_of[profile_name], config=config)
+        for profile_name in unique_profiles
+    ]
+    jobs.append(AtpgJob(name="glue", netlist=design.glue, config=config))
+    jobs.append(AtpgJob(name="monolithic", netlist=design.monolithic, config=config))
+    results = runtime.map(jobs)
+
+    by_profile = dict(zip(unique_profiles, results))
+    core_results: Dict[str, AtpgResult] = {
+        instance: by_profile[profile_name]
+        for instance, profile_name in design.instances
+    }
+    glue_result = results[-2]
+    mono_result = results[-1]
 
     cores = [
         Core(
@@ -119,14 +140,14 @@ def _run_design(design: SocDesign, seed: int) -> IscasSocExperiment:
     )
 
 
-def run_soc1(seed: int = 3) -> IscasSocExperiment:
+def run_soc1(seed: int = 3, runtime: Optional[Runtime] = None) -> IscasSocExperiment:
     """Table 1's experiment on SOC1 (Figure 4)."""
-    return _run_design(soc1_design(), seed=seed)
+    return _run_design(soc1_design(), seed=seed, runtime=runtime)
 
 
-def run_soc2(seed: int = 3) -> IscasSocExperiment:
+def run_soc2(seed: int = 3, runtime: Optional[Runtime] = None) -> IscasSocExperiment:
     """Table 2's experiment on SOC2 (Figure 5)."""
-    return _run_design(soc2_design(), seed=seed)
+    return _run_design(soc2_design(), seed=seed, runtime=runtime)
 
 
 def paper_reference(table: int) -> Dict[str, float]:
@@ -152,9 +173,18 @@ def paper_reference(table: int) -> Dict[str, float]:
     raise ValueError("table must be 1 or 2")
 
 
-def run(table: int = 1, seed: int = 3, verbose: bool = True) -> IscasSocExperiment:
+def run(
+    table: int = 1,
+    seed: Optional[int] = None,
+    verbose: bool = True,
+    runtime: Optional[Runtime] = None,
+) -> IscasSocExperiment:
     """CLI entry point for one of the two experiments."""
-    experiment = run_soc1(seed) if table == 1 else run_soc2(seed)
+    if seed is None:
+        seed = 3
+    experiment = (
+        run_soc1(seed, runtime=runtime) if table == 1 else run_soc2(seed, runtime=runtime)
+    )
     if verbose:
         reference = paper_reference(table)
         print(f"Table {table}: {experiment.design.name} "

@@ -10,7 +10,10 @@ column next to the published one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from ..runtime.session import Runtime
 
 from ..core.analysis import pattern_count_variation
 from ..core.report import format_table, hierarchy_table, percent
@@ -139,8 +142,17 @@ def _averages(results: List[Table4Result]) -> Dict[str, float]:
     }
 
 
-def run(verbose: bool = True) -> List[Table4Result]:
-    """CLI entry point: Table 3 then Table 4."""
+def run(
+    verbose: bool = True,
+    seed: Optional[int] = None,
+    runtime: Optional["Runtime"] = None,
+) -> List[Table4Result]:
+    """CLI entry point: Table 3 then Table 4.
+
+    Both tables recompute the paper's equations over the shipped
+    benchmark data — ``seed``/``runtime`` are accepted for entry-point
+    uniformity and have no effect.
+    """
     t3 = table3()
     results = table4()
     if verbose:

@@ -1,4 +1,4 @@
-"""Command-line runner: ``python -m repro.experiments <name>``.
+"""Command-line runner: ``repro-experiments <name>``.
 
 Experiments map one-to-one to the paper's tables and figures:
 
@@ -13,6 +13,19 @@ Experiments map one-to-one to the paper's tables and figures:
 ``extensions``   BIST / compression / abort-on-fail follow-on studies
 ``all``          everything above, in order
 ===============  ======================================================
+
+Every experiment executes its ATPG through :mod:`repro.runtime`: the
+shared ``--workers`` / ``--cache-dir`` / ``--no-cache`` flags control
+parallel fan-out and the content-addressed result cache, and a run
+manifest (job count, cache hit rate, ATPG wall-clock) is printed to
+stderr so table output on stdout stays byte-identical across serial,
+parallel and warm-cache runs.
+
+``--seed`` is threaded into every experiment uniformly.  Left unset,
+each experiment keeps its historical default seed (it used to be
+silently dropped for everything except tables 1-2); the analytic
+experiments (table3/table4, correlation's benchmark half, ablation)
+have no stochastic component and ignore it by construction.
 """
 
 from __future__ import annotations
@@ -21,6 +34,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..runtime.session import Runtime, ensure_runtime
 from . import (
     ablation,
     cone_example,
@@ -36,23 +50,70 @@ EXPERIMENTS = (
 )
 
 
-def run_experiment(name: str, seed: int = 3) -> None:
+def run_experiment(
+    name: str,
+    seed: Optional[int] = None,
+    runtime: Optional[Runtime] = None,
+) -> None:
+    """Run one experiment, threading seed and runtime into it."""
+    runtime = ensure_runtime(runtime)
     if name == "cone-example":
-        cone_example.run()
+        cone_example.run(seed=seed, runtime=runtime)
     elif name == "table1":
-        iscas_socs.run(table=1, seed=seed)
+        iscas_socs.run(table=1, seed=seed, runtime=runtime)
     elif name == "table2":
-        iscas_socs.run(table=2, seed=seed)
+        iscas_socs.run(table=2, seed=seed, runtime=runtime)
     elif name in ("table3", "table4"):
-        itc02_tables.run()
+        itc02_tables.run(seed=seed, runtime=runtime)
     elif name == "correlation":
-        correlation.run()
+        correlation.run(seed=seed, runtime=runtime)
     elif name == "ablation":
-        ablation.run()
+        ablation.run(seed=seed, runtime=runtime)
     elif name == "extensions":
-        extensions.run()
+        extensions.run(seed=seed, runtime=runtime)
     else:
         raise ValueError(f"unknown experiment {name!r}")
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution flags shared by both CLIs (see also repro.cli)."""
+    parser.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="worker processes for per-core/per-circuit ATPG fan-out "
+             "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="ATPG result cache directory (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro/atpg)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the ATPG result cache entirely",
+    )
+
+
+def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> Runtime:
+    """Build the Runtime the shared flags describe."""
+    return Runtime.from_flags(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        seed=seed,
+    )
+
+
+def report_runtime(runtime: Runtime) -> None:
+    """Print the run manifest to stderr (stdout carries only tables)."""
+    if runtime.manifest.job_count:
+        print(f"[runtime] {runtime.summary()}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -66,10 +127,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="which table/figure to regenerate",
     )
     parser.add_argument(
-        "--seed", type=int, default=3,
-        help="ATPG/generation seed for the ISCAS'89 experiments",
+        "--seed", type=int, default=None,
+        help="ATPG/generation seed, threaded into every experiment "
+             "(default: each experiment's historical seed)",
     )
+    add_runtime_arguments(parser)
     args = parser.parse_args(argv)
+    runtime = runtime_from_args(args)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     seen = set()
     for name in names:
@@ -78,8 +142,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if key in seen:
             continue
         seen.add(key)
-        run_experiment(name, seed=args.seed)
+        run_experiment(name, seed=args.seed, runtime=runtime)
         print()
+    report_runtime(runtime)
     return 0
 
 

@@ -1,0 +1,85 @@
+"""The identity of an ATPG run.
+
+Every ``T`` in the paper's TDV formulas comes out of one ATPG run, and
+that run is fully determined by the netlist plus a handful of engine
+knobs.  :class:`AtpgConfig` freezes those knobs into a hashable value
+object so a run has a *well-defined identity*: the same (netlist,
+config) pair always produces the same :class:`~repro.atpg.engine.AtpgResult`,
+which is what makes results cacheable (:mod:`repro.runtime.cache`) and
+safely distributable across worker processes
+(:mod:`repro.runtime.executor`).
+
+This module deliberately imports nothing from the rest of the package —
+it sits below :mod:`repro.atpg` so the engine itself can accept a
+config without a layering cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class AtpgConfig:
+    """Engine knobs that determine an ATPG run, as one frozen value.
+
+    Field defaults mirror :func:`repro.atpg.engine.generate_tests`, so
+    ``AtpgConfig()`` reproduces a bare ``generate_tests(netlist)`` call.
+    """
+
+    seed: int = 0
+    backtrack_limit: int = 100
+    random_batches: int = 32
+    compact: bool = True
+    dynamic_compaction: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backtrack_limit < 1:
+            raise ValueError(f"backtrack_limit must be >= 1, got {self.backtrack_limit}")
+        if self.random_batches < 0:
+            raise ValueError(f"random_batches must be >= 0, got {self.random_batches}")
+        if self.dynamic_compaction < 0:
+            raise ValueError(
+                f"dynamic_compaction must be >= 0, got {self.dynamic_compaction}"
+            )
+
+    def with_seed(self, seed: int) -> "AtpgConfig":
+        """The same configuration under a different seed."""
+        return replace(self, seed=seed)
+
+    def engine_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for :func:`repro.atpg.engine.generate_tests`."""
+        return {
+            "seed": self.seed,
+            "backtrack_limit": self.backtrack_limit,
+            "random_batches": self.random_batches,
+            "compact": self.compact,
+            "dynamic_compaction": self.dynamic_compaction,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "backtrack_limit": self.backtrack_limit,
+            "random_batches": self.random_batches,
+            "compact": self.compact,
+            "dynamic_compaction": self.dynamic_compaction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AtpgConfig":
+        return cls(
+            seed=data.get("seed", 0),
+            backtrack_limit=data.get("backtrack_limit", 100),
+            random_batches=data.get("random_batches", 32),
+            compact=data.get("compact", True),
+            dynamic_compaction=data.get("dynamic_compaction", 0),
+        )
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the configuration."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,89 @@
+"""The runtime facade the experiments and CLI program against.
+
+A :class:`Runtime` bundles the three execution policies — default
+:class:`~repro.runtime.config.AtpgConfig`, result cache, worker count —
+behind two calls: :meth:`Runtime.generate` for one netlist and
+:meth:`Runtime.map` for a batch.  ``Runtime()`` with no arguments is
+the neutral element: serial, uncached, default config — exactly a
+direct :func:`repro.atpg.engine.generate_tests` call, which is why
+library entry points can take ``runtime=None`` and behave as before.
+
+The runtime accumulates a :class:`~repro.runtime.executor.RunManifest`
+across calls, so a whole experiment (many ``map``/``generate`` calls)
+reports one hit rate and one ATPG wall-clock total.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..atpg.engine import AtpgResult
+from ..circuit.netlist import Netlist
+from .cache import AtpgResultCache, default_cache_dir
+from .config import AtpgConfig
+from .executor import AtpgJob, RunManifest, run_jobs
+
+
+class Runtime:
+    """Execution policy for ATPG work: config defaults, cache, workers."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[AtpgResultCache] = None,
+        config: Optional[AtpgConfig] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.config = config if config is not None else AtpgConfig()
+        self.manifest = RunManifest(workers=workers)
+
+    @classmethod
+    def from_flags(
+        cls,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        no_cache: bool = False,
+        seed: Optional[int] = None,
+    ) -> "Runtime":
+        """Build a runtime from the shared CLI flags.
+
+        Caching is on by default (``--no-cache`` turns it off); the
+        directory is ``--cache-dir``, else ``$REPRO_CACHE_DIR``, else
+        ``~/.cache/repro/atpg``.
+        """
+        cache = None
+        if not no_cache:
+            cache = AtpgResultCache(cache_dir if cache_dir else default_cache_dir())
+        config = AtpgConfig() if seed is None else AtpgConfig(seed=seed)
+        return cls(workers=workers, cache=cache, config=config)
+
+    def generate(
+        self,
+        netlist: Netlist,
+        config: Optional[AtpgConfig] = None,
+        name: Optional[str] = None,
+    ) -> AtpgResult:
+        """Run (or recall) ATPG on one netlist."""
+        job = AtpgJob(
+            name=name or netlist.name,
+            netlist=netlist,
+            config=config if config is not None else self.config,
+        )
+        return self.map([job])[0]
+
+    def map(self, jobs: Sequence[AtpgJob]) -> List[AtpgResult]:
+        """Run a batch of jobs; results align with the input order."""
+        results, manifest = run_jobs(jobs, workers=self.workers, cache=self.cache)
+        self.manifest.extend(manifest)
+        return results
+
+    def summary(self) -> str:
+        return self.manifest.summary()
+
+
+def ensure_runtime(runtime: Optional[Runtime]) -> Runtime:
+    """The given runtime, or the neutral serial/uncached one."""
+    return runtime if runtime is not None else Runtime()
