@@ -3,7 +3,9 @@
 Not a paper artifact — this tracks the ATPG stack's behaviour across
 circuit sizes, so regressions in coverage, compaction or speed show up
 where the table benches would only show mysterious pattern-count
-drifts.
+drifts.  Each run also reports kernel throughput (patterns per second
+and faults simulated per second) and appends a machine-readable record
+to ``BENCH_atpg.json`` for CI to publish.
 """
 
 import pytest
@@ -11,7 +13,7 @@ import pytest
 from repro.atpg import CompiledCircuit, collapse_faults, fault_coverage, generate_tests
 from repro.synth import GeneratorSpec, generate_circuit
 
-from conftest import run_once
+from conftest import record_bench, run_timed
 
 SIZES = [
     ("small", 120, 12, 6, 10),
@@ -20,17 +22,38 @@ SIZES = [
 ]
 
 
+def _throughput(result, seconds, stats):
+    """(patterns/s, faults simulated/s) guarded against zero time."""
+    elapsed = max(seconds, 1e-9)
+    return (
+        result.pattern_count / elapsed,
+        stats["detect_calls"] / elapsed,
+    )
+
+
 @pytest.mark.parametrize("label,gates,inputs,outputs,ffs", SIZES)
 def test_bench_atpg_scaling(benchmark, label, gates, inputs, outputs, ffs):
     netlist = generate_circuit(
         GeneratorSpec(name=f"scale_{label}", inputs=inputs, outputs=outputs,
                       flip_flops=ffs, target_gates=gates, seed=19)
     )
-    result = run_once(benchmark, generate_tests, netlist, 19)
+    result, seconds, stats = run_timed(benchmark, generate_tests, netlist, 19)
+    patterns_per_s, faults_per_s = _throughput(result, seconds, stats)
     print(f"\n{label}: {len(netlist.gates)} gates -> "
           f"{result.pattern_count} patterns, "
           f"{100 * result.fault_coverage:.2f}% coverage, "
-          f"{len(result.aborted)} aborted")
+          f"{len(result.aborted)} aborted; "
+          f"{seconds:.3f}s cold, "
+          f"{patterns_per_s:.0f} patterns/s, "
+          f"{faults_per_s:.0f} faults simulated/s")
+    record_bench(label, {
+        "gates": len(netlist.gates),
+        "cold_seconds": round(seconds, 4),
+        "patterns": result.pattern_count,
+        "fault_coverage": round(result.fault_coverage, 6),
+        "patterns_per_second": round(patterns_per_s, 1),
+        "faults_simulated_per_second": round(faults_per_s, 1),
+    })
     # Quality gates: full testable coverage, no aborts at this size.
     assert result.testable_coverage == 1.0
     assert not result.aborted
@@ -47,7 +70,21 @@ def test_bench_monolithic_soc1_atpg(benchmark):
     from repro.synth import elaborate, soc1_design
 
     design = elaborate(soc1_design(), seed=3)
-    result = run_once(benchmark, generate_tests, design.monolithic, 3)
+    result, seconds, stats = run_timed(
+        benchmark, generate_tests, design.monolithic, 3
+    )
+    patterns_per_s, faults_per_s = _throughput(result, seconds, stats)
     print(f"\nSOC1 monolithic: {result.pattern_count} patterns, "
-          f"{100 * result.fault_coverage:.2f}% coverage")
+          f"{100 * result.fault_coverage:.2f}% coverage; "
+          f"{seconds:.3f}s cold, "
+          f"{patterns_per_s:.0f} patterns/s, "
+          f"{faults_per_s:.0f} faults simulated/s")
+    record_bench("soc1_monolithic", {
+        "gates": len(design.monolithic.gates),
+        "cold_seconds": round(seconds, 4),
+        "patterns": result.pattern_count,
+        "fault_coverage": round(result.fault_coverage, 6),
+        "patterns_per_second": round(patterns_per_s, 1),
+        "faults_simulated_per_second": round(faults_per_s, 1),
+    })
     assert result.fault_coverage > 0.98

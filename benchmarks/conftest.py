@@ -11,10 +11,60 @@ Heavy ATPG experiments are benchmarked with a single round: the run
 *is* the experiment, and determinism makes repeat timing uninformative.
 """
 
+import json
+import os
+import time
+
 import pytest
+
+from repro.atpg.faultsim import reset_sim_stats, sim_stats
 
 
 def run_once(benchmark, function, *args, **kwargs):
     """Benchmark a deterministic experiment with one round."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def run_timed(benchmark, function, *args, **kwargs):
+    """Like :func:`run_once`, plus wall time and fault-sim kernel stats.
+
+    Returns ``(result, seconds, stats)`` where ``stats`` is the
+    fault-simulation counter snapshot for the run (detect calls,
+    fault×pattern evaluations, gate evaluations) — the numbers the
+    throughput reports divide by the wall time.
+    """
+    measured = {}
+
+    def wrapped():
+        reset_sim_stats()
+        start = time.perf_counter()
+        result = function(*args, **kwargs)
+        measured["seconds"] = time.perf_counter() - start
+        measured["stats"] = sim_stats()
+        return result
+
+    result = benchmark.pedantic(wrapped, rounds=1, iterations=1)
+    return result, measured["seconds"], measured["stats"]
+
+
+def record_bench(label, entry, path=None):
+    """Merge one labelled entry into the benchmark JSON report.
+
+    The file (default ``BENCH_atpg.json`` in the working directory,
+    overridable via ``BENCH_ATPG_JSON``) accumulates entries across the
+    tests of one run, so CI publishes a single machine-readable record.
+    """
+    if path is None:
+        path = os.environ.get("BENCH_ATPG_JSON", "BENCH_atpg.json")
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data[label] = entry
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

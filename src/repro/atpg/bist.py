@@ -22,7 +22,6 @@ from .compiled import CompiledCircuit
 from .faults import Fault, collapse_faults
 from .faultsim import FaultSimulator
 from .lfsr import MAX_WIDTH, Lfsr, Misr
-from .logicsim import pack_patterns, simulate, unpack_value
 
 
 @dataclass
@@ -101,11 +100,15 @@ def run_bist(
             fault for fault in remaining
             if not simulator.detect_mask(good, count, fault)
         ]
+        ones = good.ones
         for bit in range(count):
-            response = []
-            for net_id in circuit.output_ids:
-                value = unpack_value(good[net_id], bit)
-                response.append(0 if value is None else value)
+            mask = 1 << bit
+            # Read responses straight off the flat ones rail; an X
+            # output compacts as 0, as before.
+            response = [
+                1 if ones[net_id] & mask else 0
+                for net_id in circuit.output_ids
+            ]
             # Fold wide responses into the MISR width.
             folded = [0] * min(misr.width, len(response))
             for k, value in enumerate(response):

@@ -16,6 +16,24 @@ from typing import Dict, List, Sequence, Tuple
 from ..circuit.gates import GateType
 from ..circuit.netlist import Netlist
 
+# Gate-type opcodes for the flat-array kernels.  Every simulator in the
+# package (bit-parallel logic sim, event-driven fault sim, PODEM's
+# five-valued implication) dispatches on these small ints instead of
+# GateType enum members; the numbering is stable and pairs inverting
+# variants next to their base ops.
+OP_BUF, OP_NOT, OP_AND, OP_NAND, OP_OR, OP_NOR, OP_XOR, OP_XNOR = range(8)
+
+OPCODES: Dict[GateType, int] = {
+    GateType.BUF: OP_BUF,
+    GateType.NOT: OP_NOT,
+    GateType.AND: OP_AND,
+    GateType.NAND: OP_NAND,
+    GateType.OR: OP_OR,
+    GateType.NOR: OP_NOR,
+    GateType.XOR: OP_XOR,
+    GateType.XNOR: OP_XNOR,
+}
+
 
 @dataclass(frozen=True)
 class CompiledGate:
@@ -87,6 +105,65 @@ class CompiledCircuit:
                 self.fanout[net_id].append(gate.index)
         self.max_level = max((gate.level for gate in self.gates), default=0)
         self._output_id_set = set(self.output_ids)
+        self._build_flat_view()
+        self._cone_cache: Dict[int, List[int]] = {}
+
+    def _build_flat_view(self) -> None:
+        """Lower the gate table to parallel flat arrays.
+
+        This is the representation the hot kernels run on: opcode /
+        output-net / level arrays indexed by gate, CSR-style index
+        arrays for gate inputs and net fanouts, and per-net flags for
+        "is a (pseudo-)primary output" and "can reach one".  The object
+        view (``self.gates``) stays available for inspection and for
+        the colder code paths.
+        """
+        gates = self.gates
+        self.gate_op: List[int] = [OPCODES[g.gate_type] for g in gates]
+        self.gate_out: List[int] = [g.output for g in gates]
+        self.gate_levels: List[int] = [g.level for g in gates]
+        # One-tuple-per-gate iteration form shared by the kernels.
+        self.gate_table: List[Tuple[int, int, Tuple[int, ...]]] = [
+            (op, out, g.inputs)
+            for op, out, g in zip(self.gate_op, self.gate_out, gates)
+        ]
+        # CSR gate-input arrays: inputs of gate i are
+        # gate_in_ids[gate_in_start[i]:gate_in_start[i + 1]].
+        self.gate_in_start: List[int] = [0] * (len(gates) + 1)
+        self.gate_in_ids: List[int] = []
+        for i, gate in enumerate(gates):
+            self.gate_in_ids.extend(gate.inputs)
+            self.gate_in_start[i + 1] = len(self.gate_in_ids)
+        # CSR fanout arrays: gates loading net n are
+        # fanout_gates[fanout_start[n]:fanout_start[n + 1]].
+        self.fanout_start: List[int] = [0] * (self.net_count + 1)
+        self.fanout_gates: List[int] = []
+        for net_id, loads in enumerate(self.fanout):
+            self.fanout_gates.extend(loads)
+            self.fanout_start[net_id + 1] = len(self.fanout_gates)
+        self.is_output_flag: List[bool] = [False] * self.net_count
+        for net_id in self.output_ids:
+            self.is_output_flag[net_id] = True
+        # Per-net observability: True when the net can reach some
+        # (pseudo-)primary output.  A fault effect confined to
+        # unobservable nets can never be detected, so the event-driven
+        # fault simulator refuses to schedule gates behind them.
+        reaches = [False] * self.net_count
+        stack: List[int] = []
+        for net_id in self.output_ids:
+            if not reaches[net_id]:
+                reaches[net_id] = True
+                stack.append(net_id)
+        while stack:
+            net_id = stack.pop()
+            gate_index = self.driver_gate.get(net_id)
+            if gate_index is None:
+                continue
+            for in_id in gates[gate_index].inputs:
+                if not reaches[in_id]:
+                    reaches[in_id] = True
+                    stack.append(in_id)
+        self.reaches_output: List[bool] = reaches
 
     def _intern(self, net: str) -> int:
         if net not in self.net_ids:
@@ -103,9 +180,16 @@ class CompiledCircuit:
     def fanout_cone_gates(self, net_id: int) -> List[int]:
         """Gate indices in the transitive fanout of a net, topo order.
 
-        This is the region a fault on ``net_id`` can influence — the
-        event-driven fault simulator touches nothing else.
+        This is the static bound on the region a fault on ``net_id``
+        can influence; the event-driven fault simulator visits only the
+        dynamically changed subset of it.  Cones are memoized on the
+        circuit, so every simulator/pass sharing one
+        :class:`CompiledCircuit` shares the precomputation.  Callers
+        must not mutate the returned list.
         """
+        cone = self._cone_cache.get(net_id)
+        if cone is not None:
+            return cone
         seen_gates = set()
         seen_nets = {net_id}
         stack = [net_id]
@@ -118,7 +202,9 @@ class CompiledCircuit:
                     if out not in seen_nets:
                         seen_nets.add(out)
                         stack.append(out)
-        return sorted(seen_gates)
+        cone = sorted(seen_gates)
+        self._cone_cache[net_id] = cone
+        return cone
 
     def __repr__(self) -> str:
         return (

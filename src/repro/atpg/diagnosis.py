@@ -20,7 +20,6 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from .compiled import CompiledCircuit
 from .faults import Fault, collapse_faults
 from .faultsim import FaultSimulator
-from .logicsim import _eval_rail
 from .patterns import TestSet
 
 Signature = Tuple[FrozenSet[int], ...]  # per pattern: miscomparing output ids
@@ -118,42 +117,11 @@ def _per_output_miscompares(
     fault: Fault,
 ) -> Dict[int, int]:
     """Per-output miscompare masks (like detect_mask, but not OR-folded)."""
-    circuit = simulator.circuit
-    full = (1 << count) - 1
-    stuck_rail = (full, 0) if fault.stuck_at else (0, full)
-    faulty = {}
-    if fault.is_branch:
-        gate = circuit.gates[fault.gate_index]
-        inputs = [good[i] for i in gate.inputs]
-        inputs[fault.pin] = stuck_rail
-        out_rail = _eval_rail(gate.gate_type, inputs, full)
-        if out_rail == good[gate.output]:
-            return {}
-        faulty[gate.output] = out_rail
-        cone = circuit.fanout_cone_gates(gate.output)
-    else:
-        if good[fault.net] == stuck_rail:
-            return {}
-        faulty[fault.net] = stuck_rail
-        cone = circuit.fanout_cone_gates(fault.net)
-    for gate_index in cone:
-        gate = circuit.gates[gate_index]
-        if fault.is_branch and gate_index == fault.gate_index:
-            continue
-        if not any(i in faulty for i in gate.inputs):
-            continue
-        inputs = [faulty.get(i, good[i]) for i in gate.inputs]
-        out_rail = _eval_rail(gate.gate_type, inputs, full)
-        if out_rail != good[gate.output]:
-            faulty[gate.output] = out_rail
+    faulty = simulator.faulty_output_rails(good, count, fault)
     result = {}
-    for net_id in circuit.output_ids:
-        rail = faulty.get(net_id)
-        if rail is None:
-            continue
+    for net_id, (ones, zeros) in faulty.items():
         good_ones, good_zeros = good[net_id]
-        ones, zeros = rail
-        mask = ((good_ones & zeros) | (good_zeros & ones)) & full
+        mask = (good_ones & zeros) | (good_zeros & ones)
         if mask:
             result[net_id] = mask
     return result

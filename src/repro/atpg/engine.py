@@ -8,8 +8,9 @@ paper consumes.  The flow is deterministic for a given seed.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..circuit.cones import Cone, extract_cones
 from ..circuit.netlist import Netlist
@@ -18,6 +19,7 @@ from .compaction import static_compact
 from .compiled import CompiledCircuit
 from .faults import Fault, collapse_faults
 from .faultsim import FaultSimulator
+from .logicsim import RailBatch, pack_patterns_flat, simulate_flat
 from .patterns import TestPattern, TestSet
 from .podem import Podem, PodemOutcome
 from .random_phase import run_random_phase
@@ -53,6 +55,80 @@ class AtpgResult:
         return self.detected_count / testable if testable else 1.0
 
 
+class _PatternBlock:
+    """Up to 64 recent patterns packed into one fault-dropping word.
+
+    The deterministic phase used to fault-simulate every queued fault
+    against each fresh PODEM pattern individually.  This block instead
+    accumulates the good-machine rails of successive patterns into one
+    packed word (each pattern is simulated once at width 1 and OR-merged
+    into its own bit column — bit slices are independent, so the merge
+    equals simulating the patterns together).  Queued faults are then
+    checked lazily: once when popped, and against the whole word when
+    the block fills and :meth:`flush` filters the queue in a single
+    64-wide pass.  The surviving faults, their order, and every PODEM
+    call are bit-identical to the one-pattern-at-a-time flow.
+    """
+
+    CAPACITY = 64
+
+    __slots__ = ("_simulator", "_circuit", "ones", "zeros", "count")
+
+    def __init__(self, simulator: FaultSimulator):
+        self._simulator = simulator
+        self._circuit = simulator.circuit
+        self.ones: List[int] = []
+        self.zeros: List[int] = []
+        self.count = 0
+
+    @property
+    def full(self) -> bool:
+        return self.count >= self.CAPACITY
+
+    def add(self, pattern: TestPattern) -> None:
+        """Simulate one (partial) pattern and merge it into the block."""
+        circuit = self._circuit
+        ones, zeros = pack_patterns_flat(circuit, [pattern.assignments])
+        simulate_flat(circuit, ones, zeros, 1)
+        if self.count == 0:
+            self.ones = ones
+            self.zeros = zeros
+        else:
+            shift = self.count
+            block_ones, block_zeros = self.ones, self.zeros
+            for net_id, one in enumerate(ones):
+                if one:
+                    block_ones[net_id] |= one << shift
+            for net_id, zero in enumerate(zeros):
+                if zero:
+                    block_zeros[net_id] |= zero << shift
+        self.count += 1
+
+    def detects(self, fault: Fault) -> bool:
+        """Whether any accumulated pattern provably detects the fault."""
+        if self.count == 0:
+            return False
+        good = RailBatch(self.ones, self.zeros, self.count)
+        return bool(self._simulator.detect_mask(good, self.count, fault))
+
+    def flush(self, queue: Deque[Fault]) -> None:
+        """Filter the whole queue against the block, then reset it."""
+        if self.count == 0:
+            return
+        good = RailBatch(self.ones, self.zeros, self.count)
+        simulator, count = self._simulator, self.count
+        survivors = [
+            fault
+            for fault in queue
+            if not simulator.detect_mask(good, count, fault)
+        ]
+        queue.clear()
+        queue.extend(survivors)
+        self.ones = []
+        self.zeros = []
+        self.count = 0
+
+
 def generate_tests(
     netlist: Netlist,
     seed: int = 0,
@@ -62,12 +138,13 @@ def generate_tests(
     faults: Optional[List[Fault]] = None,
     dynamic_compaction: int = 0,
     config: Optional[AtpgConfig] = None,
+    circuit: Optional[CompiledCircuit] = None,
 ) -> AtpgResult:
     """Run the full ATPG flow on a netlist's full-scan view.
 
     Phases: fault collapsing, random-pattern bootstrap with fault
-    dropping, PODEM for the resistant faults (dropping against the
-    fresh partial pattern after each success), greedy static compaction
+    dropping, PODEM for the resistant faults (with lazy fault dropping
+    against a packed block of recent patterns), greedy static compaction
     of the partial patterns, deterministic X-fill, and a final
     verification fault simulation that also prunes patterns detecting
     nothing new.
@@ -81,6 +158,12 @@ def generate_tests(
     (:class:`repro.runtime.config.AtpgConfig`); when given it overrides
     the individual keyword arguments, so a run's identity — what the
     runtime cache keys results on — lives in one value.
+
+    ``circuit`` optionally supplies an already-compiled view of
+    ``netlist`` so repeated runs (e.g. the n-detect passes) share one
+    compilation and its memoized cone/reachability precomputation.  It
+    is pure shared state, never part of a run's identity, and does not
+    enter the :meth:`~repro.runtime.config.AtpgConfig.fingerprint`.
     """
     if config is not None:
         seed = config.seed
@@ -88,7 +171,8 @@ def generate_tests(
         random_batches = config.random_batches
         compact = config.compact
         dynamic_compaction = config.dynamic_compaction
-    circuit = CompiledCircuit(netlist)
+    if circuit is None:
+        circuit = CompiledCircuit(netlist)
     if faults is None:
         faults = collapse_faults(circuit)
     all_faults = list(faults)
@@ -103,9 +187,15 @@ def generate_tests(
     deterministic: List[TestPattern] = []
     untestable: List[Fault] = []
     aborted: List[Fault] = []
-    queue = list(remaining)
+    queue: Deque[Fault] = deque(remaining)
+    block = _PatternBlock(simulator)
     while queue:
-        fault = queue.pop(0)
+        fault = queue.popleft()
+        # Lazy fault dropping: a fault detected by any pattern since the
+        # last flush is discarded here, exactly where the eager
+        # per-pattern filter would already have removed it.
+        if block.detects(fault):
+            continue
         result = podem.generate(fault)
         if result.outcome is PodemOutcome.UNTESTABLE:
             untestable.append(fault)
@@ -116,13 +206,14 @@ def generate_tests(
         pattern = result.pattern
         if dynamic_compaction > 0:
             pattern = _extend_with_secondary_targets(
-                podem, pattern, queue[:dynamic_compaction]
+                podem,
+                pattern,
+                _pop_secondary_candidates(queue, block, dynamic_compaction),
             )
         deterministic.append(pattern)
-        # Drop every remaining fault this partial pattern provably detects.
-        trits = [pattern.as_trits(circuit.input_ids)]
-        good, count = simulator.good_values(trits)
-        queue = [f for f in queue if not simulator.detect_mask(good, count, f)]
+        block.add(pattern)
+        if block.full:
+            block.flush(queue)
 
     pre_compaction = len(deterministic)
     if compact and deterministic:
@@ -146,6 +237,28 @@ def generate_tests(
         deterministic_pattern_count=len(deterministic),
         pre_compaction_count=pre_compaction,
     )
+
+
+def _pop_secondary_candidates(
+    queue: Deque[Fault],
+    block: _PatternBlock,
+    limit: int,
+) -> List[Fault]:
+    """The first ``limit`` still-undetected queued faults, in order.
+
+    Skipped (already-detected) faults are discarded for good; the
+    selected candidates are pushed back so they keep their place in the
+    queue — matching the eager flow, where dynamic compaction sliced
+    the head of an always-filtered queue without consuming it.
+    """
+    candidates: List[Fault] = []
+    while queue and len(candidates) < limit:
+        fault = queue.popleft()
+        if block.detects(fault):
+            continue
+        candidates.append(fault)
+    queue.extendleft(reversed(candidates))
+    return candidates
 
 
 def _extend_with_secondary_targets(
@@ -191,8 +304,9 @@ def _verify_and_prune(
     reversed_index = list(range(len(patterns) - 1, -1, -1))
     for start in range(0, len(patterns), batch_size):
         chunk = reversed_index[start:start + batch_size]
-        batch = [patterns[i] for i in chunk]
-        trits = [p.as_trits(circuit.input_ids) for p in batch]
+        # Patterns are fully specified here, so their assignment dicts
+        # are already the per-input trit maps the packer wants.
+        trits = [patterns[i].assignments for i in chunk]
         good, count = simulator.good_values(trits)
         survivors = []
         for fault in remaining:
@@ -254,6 +368,7 @@ def generate_n_detect_tests(
             seed=seed + passes,
             backtrack_limit=backtrack_limit,
             faults=targets,
+            circuit=circuit,
         )
         if passes == 0:
             untestable = result.untestable
@@ -261,13 +376,17 @@ def generate_n_detect_tests(
                 remaining_quota.pop(fault, None)
         aborted = result.aborted
         combined.patterns.extend(result.test_set.patterns)
-        # Charge each new pattern against the quotas it serves.
-        for pattern in result.test_set:
-            trits = [pattern.as_trits(circuit.input_ids)]
-            good, count = simulator.good_values(trits)
+        # Charge the new patterns against the quotas they serve, 64 at
+        # a time: the popcount of the detect mask is exactly the number
+        # of per-pattern decrements the one-at-a-time loop would make.
+        new_patterns = result.test_set.patterns
+        for start in range(0, len(new_patterns), 64):
+            batch = new_patterns[start:start + 64]
+            good, count = simulator.good_values([p.assignments for p in batch])
             for fault in list(remaining_quota):
-                if simulator.detect_mask(good, count, fault):
-                    remaining_quota[fault] -= 1
+                mask = simulator.detect_mask(good, count, fault)
+                if mask:
+                    remaining_quota[fault] -= bin(mask).count("1")
                     if remaining_quota[fault] <= 0:
                         del remaining_quota[fault]
         passes += 1

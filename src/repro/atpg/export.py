@@ -33,7 +33,7 @@ from ..circuit.netlist import Netlist
 from ..circuit.scan import ScanInsertion, insert_scan
 from .compiled import CompiledCircuit
 from .engine import AtpgResult
-from .logicsim import pack_patterns, simulate, unpack_value
+from .logicsim import RailBatch, pack_patterns_flat, simulate_flat, unpack_value
 from .patterns import TestSet
 
 
@@ -131,7 +131,9 @@ def expand_vectors(
     for start in range(0, len(patterns), 64):
         block = patterns[start:start + 64]
         trits = [p.as_trits(circuit.input_ids) for p in block]
-        values = simulate(circuit, pack_patterns(circuit, trits), len(block))
+        ones, zeros = pack_patterns_flat(circuit, trits)
+        simulate_flat(circuit, ones, zeros, len(block))
+        values = RailBatch(ones, zeros, len(block))
         for offset, pattern in enumerate(block):
             def stim(net: str) -> str:
                 value = pattern.assignments.get(circuit.net_ids[net])

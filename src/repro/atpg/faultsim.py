@@ -2,45 +2,92 @@
 
 Parallel-pattern single-fault propagation: the good machine is
 simulated once per pattern batch (arbitrarily wide, thanks to Python
-integers), then each fault is injected and only its fanout cone is
-re-evaluated, comparing faulty against good rails at the
-(pseudo-)primary outputs.  Fault dropping removes detected faults from
-consideration as soon as any pattern in the batch catches them.
+integers), then each fault is injected and its effect is chased with a
+*levelized event worklist* — only gates whose faulty inputs actually
+changed are re-evaluated, instead of rescanning the fault's whole
+static fanout cone.  The kernel stops early when
+
+- the event frontier dies (every downstream gate absorbed the fault
+  effect),
+- the remaining events sit on nets that cannot reach any
+  (pseudo-)primary output (such gates are never even scheduled, via
+  the circuit's ``reaches_output`` flags), or
+- every pattern in the batch already detects the fault
+  (``detected == full``).
+
+Fault dropping removes detected faults from consideration as soon as
+any pattern in the batch catches them.  All detect masks are
+bit-identical to the full-cone reference rescan
+(``tests/test_faultsim_kernel.py`` enforces this differentially).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .compiled import CompiledCircuit
+from .compiled import OP_AND, OP_NAND, OP_NOR, OP_NOT, OP_XNOR, CompiledCircuit
 from .faults import Fault
-from .logicsim import Rail, _eval_rail, pack_patterns, simulate
+from .logicsim import (
+    Rail,
+    RailBatch,
+    eval_rail_op,
+    pack_patterns_flat,
+    simulate_flat,
+)
+
+# Running totals over every FaultSimulator in the process — the
+# benchmarks read these to attribute speedups to the kernel
+# (faults-simulated-per-second) rather than to pattern-count drift.
+SIM_STATS = {"detect_calls": 0, "fault_pattern_evals": 0, "gate_evals": 0}
+
+
+def reset_sim_stats() -> None:
+    """Zero the kernel counters (benchmark bookkeeping)."""
+    for key in SIM_STATS:
+        SIM_STATS[key] = 0
+
+
+def sim_stats() -> Dict[str, int]:
+    """A snapshot of the kernel counters."""
+    return dict(SIM_STATS)
+
+
+GoodValues = Union[RailBatch, List[Rail]]
 
 
 class FaultSimulator:
-    """Reusable fault-simulation context for one compiled circuit."""
+    """Reusable fault-simulation context for one compiled circuit.
+
+    Cone and reachability precomputation lives on the
+    :class:`CompiledCircuit` (computed once per circuit), so any number
+    of simulator instances — e.g. one per n-detect pass — share it.
+    The per-instance state is only the epoch-stamped scratch arrays of
+    the event kernel.
+    """
 
     def __init__(self, circuit: CompiledCircuit):
         self.circuit = circuit
-        self._cone_cache: Dict[int, List[int]] = {}
-
-    def _fanout_cone(self, net_id: int) -> List[int]:
-        cone = self._cone_cache.get(net_id)
-        if cone is None:
-            cone = self.circuit.fanout_cone_gates(net_id)
-            self._cone_cache[net_id] = cone
-        return cone
+        net_count = circuit.net_count
+        # Epoch-stamped scratch: a net/gate is "touched this call" iff
+        # its stamp equals the current epoch, so no per-call clearing.
+        self._f_ones = [0] * net_count
+        self._f_zeros = [0] * net_count
+        self._net_stamp = [0] * net_count
+        self._gate_stamp = [0] * len(circuit.gates)
+        self._buckets: List[List[int]] = [[] for _ in range(circuit.max_level + 1)]
+        self._epoch = 0
 
     def good_values(
         self, patterns: Sequence[Dict[int, Optional[int]]]
-    ) -> Tuple[List[Rail], int]:
+    ) -> Tuple[RailBatch, int]:
         """Simulate the fault-free machine over a pattern batch."""
-        rails = pack_patterns(self.circuit, patterns)
-        return simulate(self.circuit, rails, len(patterns)), len(patterns)
+        ones, zeros = pack_patterns_flat(self.circuit, patterns)
+        simulate_flat(self.circuit, ones, zeros, len(patterns))
+        return RailBatch(ones, zeros, len(patterns)), len(patterns)
 
     def detect_mask(
         self,
-        good: List[Rail],
+        good: GoodValues,
         pattern_count: int,
         fault: Fault,
     ) -> int:
@@ -49,46 +96,201 @@ class FaultSimulator:
         A pattern detects the fault when some (pseudo-)primary output
         has a defined good value and the opposite defined faulty value.
         """
+        return self._propagate(good, pattern_count, fault, None)
+
+    def faulty_output_rails(
+        self,
+        good: GoodValues,
+        pattern_count: int,
+        fault: Fault,
+    ) -> Dict[int, Rail]:
+        """Faulty rails of every output net the fault effect reaches.
+
+        Only outputs whose faulty rail differs from the good rail are
+        returned.  Shares the event kernel with :meth:`detect_mask`
+        (minus the ``detected == full`` early exit, since callers like
+        diagnosis need every output).
+        """
+        touched: List[int] = []
+        self._propagate(good, pattern_count, fault, touched)
+        f_ones, f_zeros = self._f_ones, self._f_zeros
+        return {net_id: (f_ones[net_id], f_zeros[net_id]) for net_id in touched}
+
+    # -- the event-driven kernel ----------------------------------------
+
+    def _propagate(
+        self,
+        good: GoodValues,
+        pattern_count: int,
+        fault: Fault,
+        collect: Optional[List[int]],
+    ) -> int:
+        """Inject ``fault`` and chase its effect; returns the detect mask.
+
+        With ``collect`` given, every faulty output net id is appended
+        to it and the full-detection early exit is disabled.
+        """
         circuit = self.circuit
+        if type(good) is RailBatch:
+            g_ones, g_zeros = good.ones, good.zeros
+        else:  # legacy list-of-rails form
+            g_ones = [rail[0] for rail in good]
+            g_zeros = [rail[1] for rail in good]
         full = (1 << pattern_count) - 1
-        stuck_rail: Rail = (full, 0) if fault.stuck_at else (0, full)
-        faulty: Dict[int, Rail] = {}
+        SIM_STATS["detect_calls"] += 1
+        SIM_STATS["fault_pattern_evals"] += pattern_count
 
+        reaches = circuit.reaches_output
+        is_out = circuit.is_output_flag
+        gate_table = circuit.gate_table
+        gate_out = circuit.gate_out
+        gate_levels = circuit.gate_levels
+        fan_start = circuit.fanout_start
+        fan_gates = circuit.fanout_gates
+        f_ones, f_zeros = self._f_ones, self._f_zeros
+        net_stamp, gate_stamp = self._net_stamp, self._gate_stamp
+        buckets = self._buckets
+        self._epoch += 1
+        epoch = self._epoch
+
+        stuck_ones, stuck_zeros = (full, 0) if fault.stuck_at else (0, full)
+
+        # -- seed the worklist with the fault site ----------------------
         if fault.is_branch:
-            gate = circuit.gates[fault.gate_index]
-            inputs = [good[i] for i in gate.inputs]
-            inputs[fault.pin] = stuck_rail
-            out_rail = _eval_rail(gate.gate_type, inputs, full)
-            if out_rail == good[gate.output]:
+            seed_gate = fault.gate_index
+            op, seed_net, ins = gate_table[seed_gate]
+            if not reaches[seed_net]:
                 return 0
-            faulty[gate.output] = out_rail
-            cone = self._fanout_cone(gate.output)
+            inputs = [(g_ones[i], g_zeros[i]) for i in ins]
+            inputs[fault.pin] = (stuck_ones, stuck_zeros)
+            o, z = eval_rail_op(op, inputs, full)
+            if o == g_ones[seed_net] and z == g_zeros[seed_net]:
+                return 0
+            gate_stamp[seed_gate] = epoch  # never re-evaluate the faulty gate
         else:
-            if good[fault.net] == stuck_rail:
+            seed_net = fault.net
+            if not reaches[seed_net]:
                 return 0
-            faulty[fault.net] = stuck_rail
-            cone = self._fanout_cone(fault.net)
-
-        for gate_index in cone:
-            gate = circuit.gates[gate_index]
-            if fault.is_branch and gate_index == fault.gate_index:
-                continue  # already evaluated with the pin override
-            if not any(i in faulty for i in gate.inputs):
-                continue
-            inputs = [faulty.get(i, good[i]) for i in gate.inputs]
-            out_rail = _eval_rail(gate.gate_type, inputs, full)
-            if out_rail != good[gate.output]:
-                faulty[gate.output] = out_rail
-
+            if g_ones[seed_net] == stuck_ones and g_zeros[seed_net] == stuck_zeros:
+                return 0
+            o, z = stuck_ones, stuck_zeros
+        f_ones[seed_net] = o
+        f_zeros[seed_net] = z
+        net_stamp[seed_net] = epoch
         detected = 0
-        for net_id in circuit.output_ids:
-            rail = faulty.get(net_id)
-            if rail is None:
+        if is_out[seed_net]:
+            detected = (g_ones[seed_net] & z) | (g_zeros[seed_net] & o)
+            if collect is not None:
+                collect.append(seed_net)
+            elif detected == full:
+                return detected
+
+        pending = 0
+        level = circuit.max_level + 1
+        top_level = 0
+        for k in range(fan_start[seed_net], fan_start[seed_net + 1]):
+            g = fan_gates[k]
+            if gate_stamp[g] != epoch and reaches[gate_out[g]]:
+                gate_stamp[g] = epoch
+                lvl = gate_levels[g]
+                buckets[lvl].append(g)
+                pending += 1
+                if lvl < level:
+                    level = lvl
+                if lvl > top_level:
+                    top_level = lvl
+
+        # -- levelized event sweep --------------------------------------
+        # Events only travel to strictly higher levels, so each touched
+        # gate is evaluated exactly once, with all its inputs final.
+        gate_evals = 0
+        while pending and level <= top_level:
+            bucket = buckets[level]
+            level += 1
+            if not bucket:
                 continue
-            good_ones, good_zeros = good[net_id]
-            ones, zeros = rail
-            detected |= (good_ones & zeros) | (good_zeros & ones)
-        return detected & full
+            for gi in bucket:
+                pending -= 1
+                gate_evals += 1
+                op, out_net, ins = gate_table[gi]
+                if op >= OP_AND and op <= OP_NOR:
+                    if op <= OP_NAND:  # AND / NAND
+                        o, z = full, 0
+                        for i in ins:
+                            if net_stamp[i] == epoch:
+                                o &= f_ones[i]
+                                z |= f_zeros[i]
+                            else:
+                                o &= g_ones[i]
+                                z |= g_zeros[i]
+                        if op == OP_NAND:
+                            o, z = z, o
+                    else:  # OR / NOR
+                        o, z = 0, full
+                        for i in ins:
+                            if net_stamp[i] == epoch:
+                                o |= f_ones[i]
+                                z &= f_zeros[i]
+                            else:
+                                o |= g_ones[i]
+                                z &= g_zeros[i]
+                        if op == OP_NOR:
+                            o, z = z, o
+                elif op <= OP_NOT:  # BUF / NOT
+                    i = ins[0]
+                    if net_stamp[i] == epoch:
+                        o, z = f_ones[i], f_zeros[i]
+                    else:
+                        o, z = g_ones[i], g_zeros[i]
+                    if op == OP_NOT:
+                        o, z = z, o
+                else:  # XOR / XNOR
+                    it = iter(ins)
+                    i = next(it)
+                    if net_stamp[i] == epoch:
+                        o, z = f_ones[i], f_zeros[i]
+                    else:
+                        o, z = g_ones[i], g_zeros[i]
+                    for i in it:
+                        if net_stamp[i] == epoch:
+                            io, iz = f_ones[i], f_zeros[i]
+                        else:
+                            io, iz = g_ones[i], g_zeros[i]
+                        o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+                    if op == OP_XNOR:
+                        o, z = z, o
+                if o == g_ones[out_net] and z == g_zeros[out_net]:
+                    continue  # event absorbed — fanout stays good
+                f_ones[out_net] = o
+                f_zeros[out_net] = z
+                net_stamp[out_net] = epoch
+                if is_out[out_net]:
+                    detected |= (g_ones[out_net] & z) | (g_zeros[out_net] & o)
+                    if collect is not None:
+                        collect.append(out_net)
+                    elif detected == full:
+                        # Drain the worklist so the scratch buckets are
+                        # clean for the next call.
+                        del bucket[:]
+                        for l in range(level, top_level + 1):
+                            if buckets[l]:
+                                del buckets[l][:]
+                        SIM_STATS["gate_evals"] += gate_evals
+                        return detected
+                for k in range(fan_start[out_net], fan_start[out_net + 1]):
+                    g = fan_gates[k]
+                    if gate_stamp[g] != epoch and reaches[gate_out[g]]:
+                        gate_stamp[g] = epoch
+                        lvl = gate_levels[g]
+                        buckets[lvl].append(g)
+                        pending += 1
+                        if lvl > top_level:
+                            top_level = lvl
+            del bucket[:]
+        SIM_STATS["gate_evals"] += gate_evals
+        return detected
+
+    # -- batch conveniences ---------------------------------------------
 
     def simulate_batch(
         self,
@@ -109,7 +311,7 @@ class FaultSimulator:
         remaining = []
         dropped = 0
         for fault in faults:
-            if self.detect_mask(good, count, fault):
+            if self._propagate(good, count, fault, None):
                 dropped += 1
             else:
                 remaining.append(fault)
@@ -119,12 +321,25 @@ class FaultSimulator:
         self,
         patterns: Sequence[Dict[int, Optional[int]]],
         faults: List[Fault],
+        batch_size: int = 64,
     ) -> int:
-        """Bitmask of patterns that detect at least one listed fault."""
-        good, count = self.good_values(patterns)
+        """Bitmask of patterns that detect at least one listed fault.
+
+        Long pattern lists are processed in words of ``batch_size``
+        patterns; within a word, fault iteration stops as soon as every
+        pattern is already known useful.
+        """
         useful = 0
-        for fault in faults:
-            useful |= self.detect_mask(good, count, fault)
+        for start in range(0, len(patterns), batch_size):
+            block = patterns[start:start + batch_size]
+            good, count = self.good_values(block)
+            full = (1 << count) - 1
+            word = 0
+            for fault in faults:
+                word |= self._propagate(good, count, fault, None)
+                if word == full:
+                    break
+            useful |= word << start
         return useful
 
 

@@ -7,26 +7,72 @@ form: each net carries a pair ``(ones, zeros)`` of bitmasks, where bit
 simulates every packed pattern simultaneously — the classic
 parallel-pattern single-fault trick, here with unbounded word width
 because Python integers are arbitrary precision.
+
+The hot representation is *flat*: the ones and zeros rails live in two
+parallel lists indexed by net id (:class:`RailBatch`), and gate
+evaluation dispatches through an opcode-indexed table of evaluators
+(:data:`OP_EVAL`) over those lists.  The tuple-of-rails view
+(``List[Rail]``) and the :func:`_eval_rail` if-chain are kept as the
+compatibility/reference form — the differential kernel tests check the
+flat kernels against them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.gates import GateType
-from .compiled import CompiledCircuit
+from .compiled import (
+    OP_AND,
+    OP_BUF,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    OPCODES,
+    CompiledCircuit,
+)
 
 Rail = Tuple[int, int]  # (ones mask, zeros mask)
 
 
-def pack_patterns(
+class RailBatch:
+    """Flat dual-rail net values for one packed pattern batch.
+
+    ``ones[net_id]`` / ``zeros[net_id]`` are the per-net bitmasks over
+    ``count`` packed patterns.  Indexing (``batch[net_id]``) returns the
+    tuple-form :data:`Rail`, so code written against the list-of-rails
+    view keeps working.
+    """
+
+    __slots__ = ("ones", "zeros", "count")
+
+    def __init__(self, ones: List[int], zeros: List[int], count: int):
+        self.ones = ones
+        self.zeros = zeros
+        self.count = count
+
+    @property
+    def full(self) -> int:
+        return (1 << self.count) - 1
+
+    def __getitem__(self, net_id: int) -> Rail:
+        return (self.ones[net_id], self.zeros[net_id])
+
+    def __len__(self) -> int:
+        return len(self.ones)
+
+
+def pack_patterns_flat(
     circuit: CompiledCircuit,
     patterns: Sequence[Dict[int, Optional[int]]],
-) -> List[Rail]:
-    """Pack per-pattern input assignments into per-net rails.
+) -> Tuple[List[int], List[int]]:
+    """Pack per-pattern input assignments into flat ones/zeros lists.
 
     Each pattern maps input net ids to 0/1/None; missing entries are X.
-    Returns a rail per net id (non-input nets start all-X).
+    Non-input nets start all-X.
     """
     ones = [0] * circuit.net_count
     zeros = [0] * circuit.net_count
@@ -37,7 +83,118 @@ def pack_patterns(
                 ones[net_id] |= mask
             elif value == 0:
                 zeros[net_id] |= mask
+    return ones, zeros
+
+
+def pack_patterns(
+    circuit: CompiledCircuit,
+    patterns: Sequence[Dict[int, Optional[int]]],
+) -> List[Rail]:
+    """Tuple-of-rails view of :func:`pack_patterns_flat` (compatibility)."""
+    ones, zeros = pack_patterns_flat(circuit, patterns)
     return list(zip(ones, zeros))
+
+
+# -- opcode-dispatched gate evaluators over the flat rails ---------------
+#
+# Each evaluator reads its input rails out of the flat ones/zeros lists
+# and returns the gate's output rail.  ``OP_EVAL[opcode]`` replaces the
+# old per-gate ``_eval_rail`` if-chain in the simulation hot loop.
+
+
+def _eval_buf(ones, zeros, ins, full):
+    i = ins[0]
+    return ones[i], zeros[i]
+
+
+def _eval_not(ones, zeros, ins, full):
+    i = ins[0]
+    return zeros[i], ones[i]
+
+
+def _eval_and(ones, zeros, ins, full):
+    o, z = full, 0
+    for i in ins:
+        o &= ones[i]
+        z |= zeros[i]
+    return o, z
+
+
+def _eval_nand(ones, zeros, ins, full):
+    o, z = full, 0
+    for i in ins:
+        o &= ones[i]
+        z |= zeros[i]
+    return z, o
+
+
+def _eval_or(ones, zeros, ins, full):
+    o, z = 0, full
+    for i in ins:
+        o |= ones[i]
+        z &= zeros[i]
+    return o, z
+
+
+def _eval_nor(ones, zeros, ins, full):
+    o, z = 0, full
+    for i in ins:
+        o |= ones[i]
+        z &= zeros[i]
+    return z, o
+
+
+def _eval_xor(ones, zeros, ins, full):
+    # Defined only where every operand is defined.
+    it = iter(ins)
+    i = next(it)
+    o, z = ones[i], zeros[i]
+    for i in it:
+        io, iz = ones[i], zeros[i]
+        o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+    return o, z
+
+
+def _eval_xnor(ones, zeros, ins, full):
+    it = iter(ins)
+    i = next(it)
+    o, z = ones[i], zeros[i]
+    for i in it:
+        io, iz = ones[i], zeros[i]
+        o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+    return z, o
+
+
+OP_EVAL = (
+    _eval_buf,
+    _eval_not,
+    _eval_and,
+    _eval_nand,
+    _eval_or,
+    _eval_nor,
+    _eval_xor,
+    _eval_xnor,
+)
+assert OP_EVAL[OP_BUF] is _eval_buf and OP_EVAL[OP_XNOR] is _eval_xnor
+
+
+def simulate_flat(
+    circuit: CompiledCircuit,
+    ones: List[int],
+    zeros: List[int],
+    pattern_count: int,
+) -> Tuple[List[int], List[int]]:
+    """Evaluate every gate over flat packed rails, in place.
+
+    ``ones``/``zeros`` must cover the input nets (one entry per net
+    id); values for all other nets are overwritten.  Returns the same
+    two lists for convenience.
+    """
+    full = (1 << pattern_count) - 1
+    evals = OP_EVAL
+    for op, out, ins in circuit.gate_table:
+        ones[out], zeros[out] = evals[op](ones, zeros, ins, full)
+    return ones, zeros
 
 
 def simulate(
@@ -45,38 +202,43 @@ def simulate(
     rails: List[Rail],
     pattern_count: int,
 ) -> List[Rail]:
-    """Evaluate every gate over the packed patterns; returns net rails.
+    """Tuple-of-rails view of :func:`simulate_flat` (compatibility).
 
-    ``rails`` must cover the input nets; values for all other nets are
-    overwritten.  The input list is not modified.
+    The input list is not modified.
     """
-    full = (1 << pattern_count) - 1
-    values = list(rails)
-    for gate in circuit.gates:
-        values[gate.output] = _eval_rail(gate.gate_type, [values[i] for i in gate.inputs], full)
-    return values
+    ones = [rail[0] for rail in rails]
+    zeros = [rail[1] for rail in rails]
+    simulate_flat(circuit, ones, zeros, pattern_count)
+    return list(zip(ones, zeros))
 
 
-def _eval_rail(gate_type: GateType, inputs: List[Rail], full: int) -> Rail:
-    if gate_type is GateType.BUF:
+def eval_rail_op(opcode: int, inputs: List[Rail], full: int) -> Rail:
+    """Evaluate one gate (by opcode) over tuple-form input rails.
+
+    This is the reference evaluator: exhaustively equivalent to the
+    flat :data:`OP_EVAL` table (the kernel tests enforce it), and used
+    on cold paths that assemble ad-hoc input rails — e.g. injecting a
+    stuck value at one gate pin.
+    """
+    if opcode == OP_BUF:
         return inputs[0]
-    if gate_type is GateType.NOT:
+    if opcode == OP_NOT:
         ones, zeros = inputs[0]
         return zeros, ones
-    if gate_type in (GateType.AND, GateType.NAND):
+    if opcode == OP_AND or opcode == OP_NAND:
         ones, zeros = full, 0
         for in_ones, in_zeros in inputs:
             ones &= in_ones
             zeros |= in_zeros
-        if gate_type is GateType.NAND:
+        if opcode == OP_NAND:
             ones, zeros = zeros, ones
         return ones, zeros
-    if gate_type in (GateType.OR, GateType.NOR):
+    if opcode == OP_OR or opcode == OP_NOR:
         ones, zeros = 0, full
         for in_ones, in_zeros in inputs:
             ones |= in_ones
             zeros &= in_zeros
-        if gate_type is GateType.NOR:
+        if opcode == OP_NOR:
             ones, zeros = zeros, ones
         return ones, zeros
     # XOR / XNOR: defined only where both operands are defined.
@@ -86,12 +248,19 @@ def _eval_rail(gate_type: GateType, inputs: List[Rail], full: int) -> Rail:
             (ones & in_zeros) | (zeros & in_ones),
             (ones & in_ones) | (zeros & in_zeros),
         )
-    if gate_type is GateType.XNOR:
+    if opcode == OP_XNOR:
         ones, zeros = zeros, ones
     return ones, zeros
 
 
-def output_rails(circuit: CompiledCircuit, values: List[Rail]) -> List[Rail]:
+def _eval_rail(gate_type: GateType, inputs: List[Rail], full: int) -> Rail:
+    """GateType-keyed form of :func:`eval_rail_op` (compatibility)."""
+    return eval_rail_op(OPCODES[gate_type], inputs, full)
+
+
+def output_rails(
+    circuit: CompiledCircuit, values: Union[List[Rail], RailBatch]
+) -> List[Rail]:
     """Rails of the (pseudo-)primary outputs, in declaration order."""
     return [values[net_id] for net_id in circuit.output_ids]
 

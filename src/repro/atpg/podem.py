@@ -8,9 +8,13 @@ backtracks by flipping the most recent unflipped input decision,
 bounded by a backtrack limit that separates *aborted* from proven
 *untestable* faults.
 
-For speed, the implication pass runs over a flattened opcode table
-(one tuple per gate) and computes the D-frontier and output-detection
-flags in the same sweep, instead of re-scanning the circuit.
+For speed, the implication pass runs over the circuit's flat opcode
+table (:attr:`~repro.atpg.compiled.CompiledCircuit.gate_table`) and
+computes the D-frontier and output-detection flags in the same sweep.
+Two-input gates — the overwhelming majority — evaluate with a single
+precomputed 5x5 table lookup; wider gates fall back to the exact
+componentwise three-valued fold (pairwise five-valued folding is lossy
+for three or more inputs, see :mod:`repro.atpg.values`).
 """
 
 from __future__ import annotations
@@ -20,40 +24,62 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit.gates import GateType
-from .compiled import CompiledCircuit
+from .compiled import (
+    OP_AND,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    CompiledCircuit,
+)
 from .faults import Fault
 from .patterns import TestPattern
 from .values import (
     AND3,
+    AND_TABLE,
     COMPOSE3,
     FAULTY_COMPONENT,
     GOOD_COMPONENT,
     NOT_TABLE,
     ONE,
     OR3,
+    OR_TABLE,
     X,
     XOR3,
+    XOR_TABLE,
     ZERO,
     compose,
     good_value,
 )
 
-# Opcodes for the flattened gate table.
-_OP_BUF, _OP_NOT, _OP_AND, _OP_NAND, _OP_OR, _OP_NOR, _OP_XOR, _OP_XNOR = range(8)
-
-_OPCODE = {
-    GateType.BUF: _OP_BUF,
-    GateType.NOT: _OP_NOT,
-    GateType.AND: _OP_AND,
-    GateType.NAND: _OP_NAND,
-    GateType.OR: _OP_OR,
-    GateType.NOR: _OP_NOR,
-    GateType.XOR: _OP_XOR,
-    GateType.XNOR: _OP_XNOR,
-}
-
 # Values 3 (D) and 4 (D-bar) carry a fault effect; X is 2.
 _FAULTED_MIN = 3
+
+# Implication-table plumbing per opcode: the exact 5x5 pairwise table
+# (2-input gates only), the three-valued fold table with its identity
+# (any width), and whether the output is inverted afterwards.
+_PAIR_TABLES = {
+    OP_AND: AND_TABLE,
+    OP_NAND: AND_TABLE,
+    OP_OR: OR_TABLE,
+    OP_NOR: OR_TABLE,
+    OP_XOR: XOR_TABLE,
+    OP_XNOR: XOR_TABLE,
+}
+_FOLD_TABLES = {
+    OP_AND: (AND3, 1),
+    OP_NAND: (AND3, 1),
+    OP_OR: (OR3, 0),
+    OP_NOR: (OR3, 0),
+    OP_XOR: (XOR3, 0),
+    OP_XNOR: (XOR3, 0),
+}
+_INVERTING_OPS = frozenset((OP_NOT, OP_NAND, OP_NOR, OP_XNOR))
+
+# Evaluation kinds for the implication loop.
+_KIND_BUF, _KIND_NOT, _KIND_PAIR, _KIND_FOLD = range(4)
 
 
 class PodemOutcome(enum.Enum):
@@ -86,15 +112,27 @@ class Podem:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
         self._input_set = set(circuit.input_ids)
-        self._is_output = [False] * circuit.net_count
-        for net_id in circuit.output_ids:
-            self._is_output[net_id] = True
-        # Flattened gate table: (opcode, output id, input ids).
-        self._table: List[Tuple[int, int, Tuple[int, ...]]] = [
-            (_OPCODE[gate.gate_type], gate.output, gate.inputs)
-            for gate in circuit.gates
-        ]
-        self._level = [gate.level for gate in circuit.gates]
+        self._is_output = circuit.is_output_flag
+        self._level = circuit.gate_levels
+        # Implication table: (output id, input ids, kind, table, invert)
+        # specialized per gate from the circuit's flat opcode table.
+        self._table5: List[Tuple[int, Tuple[int, ...], int, object, bool]] = []
+        self._fold_info: List[Optional[Tuple[object, int]]] = []
+        for op, out_id, in_ids in circuit.gate_table:
+            inv = op in _INVERTING_OPS
+            if op < OP_AND:  # BUF / NOT
+                kind = _KIND_NOT if op == OP_NOT else _KIND_BUF
+                table: object = None
+                self._fold_info.append(None)
+            elif len(in_ids) == 2:
+                kind = _KIND_PAIR
+                table = _PAIR_TABLES[op]
+                self._fold_info.append(_FOLD_TABLES[op])
+            else:
+                kind = _KIND_FOLD
+                table = _FOLD_TABLES[op]
+                self._fold_info.append(_FOLD_TABLES[op])
+            self._table5.append((out_id, in_ids, kind, table, inv))
 
     # -- public ------------------------------------------------------------
 
@@ -154,7 +192,9 @@ class Podem:
         """Forward five-valued sweep with the fault injected.
 
         One pass computes net values, the D-frontier, and whether a
-        fault effect reached a (pseudo-)primary output.
+        fault effect reached a (pseudo-)primary output.  Two-input
+        gates use the exact pairwise 5x5 tables; wider gates use the
+        componentwise fold (see the module docstring).
         """
         circuit = self.circuit
         values = [X] * circuit.net_count
@@ -166,46 +206,51 @@ class Podem:
         branch_pin = fault.pin
         if branch_gate < 0:
             values[fault_net] = _inject(values[fault_net], stuck)
+            fault_gate = circuit.driver_gate.get(fault_net, -1)
+        else:
+            fault_gate = -1
 
         not_t = NOT_TABLE
-        good_c, faulty_c, compose3 = GOOD_COMPONENT, FAULTY_COMPONENT, COMPOSE3
         is_output = self._is_output
         frontier: List[int] = []
+        frontier_append = frontier.append
         detected = False
 
-        for gate_index, (op, out_id, in_ids) in enumerate(self._table):
-            v0 = values[in_ids[0]]
-            if gate_index == branch_gate and branch_pin == 0:
-                v0 = _inject(v0, stuck)
-            if op == _OP_BUF:
-                out = v0
-            elif op == _OP_NOT:
-                out = not_t[v0]
+        for gate_index, (out_id, in_ids, kind, table, inv) in enumerate(self._table5):
+            if gate_index == branch_gate:
+                out = self._eval_branch_gate(
+                    values, in_ids, kind, inv, gate_index, branch_pin, stuck,
+                    frontier_append,
+                )
+            elif kind == _KIND_PAIR:
+                v0 = values[in_ids[0]]
+                v1 = values[in_ids[1]]
+                out = table[v0][v1]
+                if inv:
+                    out = not_t[out]
+                if out == X and (v0 >= _FAULTED_MIN or v1 >= _FAULTED_MIN):
+                    frontier_append(gate_index)
+            elif kind == _KIND_BUF:
+                out = values[in_ids[0]]
+            elif kind == _KIND_NOT:
+                out = not_t[values[in_ids[0]]]
             else:
                 # Componentwise fold — exact for wide gates (see values.py).
-                if op <= _OP_NAND:  # AND / NAND
-                    table3, good, faulty = AND3, 1, 1
-                elif op <= _OP_NOR:  # OR / NOR
-                    table3, good, faulty = OR3, 0, 0
-                else:  # XOR / XNOR
-                    table3, good, faulty = XOR3, 0, 0
-                faulted_input = v0 >= _FAULTED_MIN
-                good = table3[good][good_c[v0]]
-                faulty = table3[faulty][faulty_c[v0]]
-                for pin in range(1, len(in_ids)):
-                    v = values[in_ids[pin]]
-                    if gate_index == branch_gate and pin == branch_pin:
-                        v = _inject(v, stuck)
+                table3, identity = table
+                good = faulty = identity
+                faulted_input = False
+                for in_id in in_ids:
+                    v = values[in_id]
                     if v >= _FAULTED_MIN:
                         faulted_input = True
-                    good = table3[good][good_c[v]]
-                    faulty = table3[faulty][faulty_c[v]]
-                out = compose3[good][faulty]
-                if op in (_OP_NAND, _OP_NOR, _OP_XNOR):
+                    good = table3[good][GOOD_COMPONENT[v]]
+                    faulty = table3[faulty][FAULTY_COMPONENT[v]]
+                out = COMPOSE3[good][faulty]
+                if inv:
                     out = not_t[out]
                 if out == X and faulted_input:
-                    frontier.append(gate_index)
-            if branch_gate < 0 and out_id == fault_net:
+                    frontier_append(gate_index)
+            if gate_index == fault_gate:
                 out = _inject(out, stuck)
             values[out_id] = out
             if out >= _FAULTED_MIN and is_output[out_id]:
@@ -214,6 +259,44 @@ class Podem:
         if not detected and branch_gate < 0 and values[fault_net] >= _FAULTED_MIN:
             detected = is_output[fault_net]
         return _ImplyState(values=values, frontier=frontier, detected=detected)
+
+    def _eval_branch_gate(
+        self,
+        values: List[int],
+        in_ids: Tuple[int, ...],
+        kind: int,
+        inv: bool,
+        gate_index: int,
+        branch_pin: int,
+        stuck: int,
+        frontier_append,
+    ) -> int:
+        """Evaluate the branch-faulted gate with the pin override.
+
+        Runs once per implication sweep; always uses the exact
+        componentwise fold so injected pins behave identically to the
+        reference evaluation regardless of gate width.
+        """
+        if kind == _KIND_BUF or kind == _KIND_NOT:
+            v0 = _inject(values[in_ids[0]], stuck)
+            return NOT_TABLE[v0] if kind == _KIND_NOT else v0
+        table3, identity = self._fold_info[gate_index]
+        good = faulty = identity
+        faulted_input = False
+        for pin, in_id in enumerate(in_ids):
+            v = values[in_id]
+            if pin == branch_pin:
+                v = _inject(v, stuck)
+            if v >= _FAULTED_MIN:
+                faulted_input = True
+            good = table3[good][GOOD_COMPONENT[v]]
+            faulty = table3[faulty][FAULTY_COMPONENT[v]]
+        out = COMPOSE3[good][faulty]
+        if inv:
+            out = NOT_TABLE[out]
+        if out == X and faulted_input:
+            frontier_append(gate_index)
+        return out
 
     # -- search guidance ------------------------------------------------------
 
@@ -241,7 +324,8 @@ class Podem:
         circuit = self.circuit
         values = state.values
         seen = set()
-        stack = [self._table[g][1] for g in state.frontier]
+        gate_out = circuit.gate_out
+        stack = [gate_out[g] for g in state.frontier]
         while stack:
             net_id = stack.pop()
             if net_id in seen:
@@ -250,7 +334,7 @@ class Podem:
             if self._is_output[net_id]:
                 return True
             for gate_index in circuit.fanout[net_id]:
-                out = self._table[gate_index][1]
+                out = gate_out[gate_index]
                 if values[out] == X and out not in seen:
                     stack.append(out)
         return False

@@ -46,8 +46,9 @@ def run_random_phase(
     result = RandomPhaseResult(remaining_faults=list(faults))
     while result.remaining_faults and result.batches < max_batches:
         batch = [random_pattern(circuit.input_ids, rng) for _ in range(batch_size)]
-        trits = [p.as_trits(circuit.input_ids) for p in batch]
-        good, count = simulator.good_values(trits)
+        # Random patterns are fully specified over the input ids, so
+        # their assignment dicts are already the packer's trit maps.
+        good, count = simulator.good_values([p.assignments for p in batch])
         first_detector = [False] * count
         survivors = []
         detected_here = 0

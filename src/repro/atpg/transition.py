@@ -34,7 +34,7 @@ from ..circuit.scan import ScanInsertion, insert_scan
 from ..runtime.config import AtpgConfig
 from .compiled import CompiledCircuit
 from .faults import Fault
-from .logicsim import pack_patterns, simulate, unpack_value
+from .logicsim import pack_patterns_flat, simulate_flat
 from .patterns import TestPattern
 from .podem import Podem, PodemOutcome
 
@@ -200,9 +200,10 @@ def _justify_launch(
         candidate = dict(v1_base)
         for net in free:
             candidate[net] = rng.getrandbits(1)
-        rails = pack_patterns(circuit, [candidate])
-        values = simulate(circuit, rails, 1)
-        if unpack_value(values[fault.net], 0) == fault.initial_value:
+        ones, zeros = pack_patterns_flat(circuit, [candidate])
+        simulate_flat(circuit, ones, zeros, 1)
+        launched = (ones if fault.initial_value else zeros)[fault.net] & 1
+        if launched:
             launch_bits = {
                 chain: (value if value is not None else rng.getrandbits(1))
                 for chain, value in scan_in.items()

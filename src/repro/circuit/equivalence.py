@@ -59,7 +59,12 @@ def check_equivalence(
     is vacuous, but the maps let callers compare partial cones too.
     """
     from ..atpg.compiled import CompiledCircuit
-    from ..atpg.logicsim import pack_patterns, simulate, unpack_value
+    from ..atpg.logicsim import (
+        RailBatch,
+        pack_patterns_flat,
+        simulate_flat,
+        unpack_value,
+    )
 
     input_map = input_map or {}
     output_map = output_map or {}
@@ -96,12 +101,12 @@ def check_equivalence(
             }
             for vec in block
         ]
-        ref_values = simulate(
-            ref_circuit, pack_patterns(ref_circuit, ref_patterns), block_size
-        )
-        cand_values = simulate(
-            cand_circuit, pack_patterns(cand_circuit, cand_patterns), block_size
-        )
+        ref_ones, ref_zeros = pack_patterns_flat(ref_circuit, ref_patterns)
+        simulate_flat(ref_circuit, ref_ones, ref_zeros, block_size)
+        ref_values = RailBatch(ref_ones, ref_zeros, block_size)
+        cand_ones, cand_zeros = pack_patterns_flat(cand_circuit, cand_patterns)
+        simulate_flat(cand_circuit, cand_ones, cand_zeros, block_size)
+        cand_values = RailBatch(cand_ones, cand_zeros, block_size)
         for bit in range(block_size):
             for net in ref_outputs:
                 ref_value = unpack_value(
