@@ -9,6 +9,7 @@ measured pattern counts with the TDV model.
 Run:  python examples/atpg_flow.py
 """
 
+from repro import AtpgConfig, Runtime
 from repro.atpg import (
     CompiledCircuit,
     collapse_faults,
@@ -48,7 +49,10 @@ def main() -> None:
     # Section 3's observation: per-cone pattern counts vary widely.
     cones = extract_cones(netlist)
     print(f"\n{len(cones)} logic cones; width stats: {cone_width_stats(cones)}")
-    per_cone = per_cone_pattern_counts(netlist, seed=42)
+    # Runtime is the uniform execution entry point: its config supplies
+    # the per-cone ATPG knobs (cone runs keep the tight backtrack limit).
+    runtime = Runtime(config=AtpgConfig(seed=42, backtrack_limit=50))
+    per_cone = per_cone_pattern_counts(netlist, runtime=runtime)
     counts = [count for count in per_cone.values() if count > 0]
     print(f"Per-cone ATPG pattern counts: min={min(counts)} max={max(counts)} "
           f"norm. stdev={normalized_stdev(counts):.2f}")

@@ -10,16 +10,30 @@ netlist (the premise of comparing the two test strategies at all).
 Run:  python examples/test_program_export.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.atpg import dump_vectors, export_program, generate_tests, model_bits
-from repro.circuit import Netlist, check_instance_in_flat, insert_scan
+from repro.circuit import Netlist, check_instance_in_flat, insert_scan, save_bench_file
+from repro.io import load_netlist
 from repro.synth import GeneratorSpec, generate_circuit
 
 
 def main() -> None:
-    netlist = generate_circuit(
+    generated = generate_circuit(
         GeneratorSpec(name="uart", inputs=10, outputs=8, flip_flops=24,
                       target_gates=240, seed=77)
     )
+
+    # Round-trip through the on-disk .bench form with the public loader —
+    # the same path "repro atpg design.bench" takes.
+    with tempfile.TemporaryDirectory() as tmp:
+        bench_path = Path(tmp) / "uart.bench"
+        save_bench_file(bench_path, generated)
+        netlist = load_netlist(bench_path)
+    print(f"Loaded {netlist.name} back from .bench: "
+          f"{len(netlist.gates)} gates, {len(netlist.flip_flops)} flip-flops")
+
     result = generate_tests(netlist, seed=77)
     print(f"ATPG on {netlist.name}: {result.pattern_count} patterns, "
           f"{100 * result.fault_coverage:.1f}% coverage")

@@ -31,6 +31,16 @@ and every substrate its evaluation depends on:
     The execution layer: run identity (``AtpgConfig``), the
     content-addressed ATPG result cache, and the parallel executor
     behind every experiment (``Runtime``).
+``repro.observability``
+    Zero-dependency tracing/metrics: nested spans, typed counters,
+    JSONL traces, per-run summaries — off (and free) by default.
+``repro.io``
+    The public design-file loaders (``load_soc``, ``load_netlist``)
+    with their format sniffing.
+
+:class:`Runtime` is the single public execution entry point: build one
+(or use ``Runtime.from_flags``) and pass it as the uniform ``runtime=``
+parameter every ATPG-running entry point accepts.
 """
 
 from .core import (
@@ -52,16 +62,21 @@ __version__ = "1.0.0"
 def __getattr__(name):
     # The runtime facade re-exported lazily: it drags in the ATPG stack,
     # which plain TDV-model users never need to import.
-    if name in ("AtpgConfig", "Runtime", "AtpgResultCache"):
+    if name in ("AtpgConfig", "Runtime", "AtpgResultCache", "RunManifest"):
         from . import runtime
 
         return getattr(runtime, name)
+    if name in ("load_soc", "load_netlist"):
+        from . import io
+
+        return getattr(io, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "AtpgConfig",
     "AtpgResultCache",
+    "RunManifest",
     "Runtime",
     "Core",
     "Soc",
@@ -71,6 +86,8 @@ __all__ = [
     "decompose",
     "flatten",
     "isocost",
+    "load_netlist",
+    "load_soc",
     "summarize",
     "tdv_benefit",
     "tdv_modular",

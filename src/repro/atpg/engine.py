@@ -9,20 +9,45 @@ paper consumes.  The flow is deterministic for a given seed.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional
+
+import warnings
 
 from ..circuit.cones import Cone, extract_cones
 from ..circuit.netlist import Netlist
+from ..observability import get_tracer, register_counter
 from ..runtime.config import AtpgConfig
 from .compaction import static_compact
 from .compiled import CompiledCircuit
 from .faults import Fault, collapse_faults
-from .faultsim import FaultSimulator
+from .faultsim import FaultSimulator, publish_kernel_stats, sim_stats
 from .logicsim import RailBatch, pack_patterns_flat, simulate_flat
 from .patterns import TestPattern, TestSet
 from .podem import Podem, PodemOutcome
 from .random_phase import run_random_phase
+
+ATPG_RUNS = register_counter("atpg.runs", "generate_tests invocations")
+ATPG_FAULTS_TOTAL = register_counter("atpg.faults.total", "collapsed faults targeted")
+ATPG_FAULTS_DETECTED = register_counter("atpg.faults.detected", "faults detected")
+ATPG_FAULTS_UNTESTABLE = register_counter(
+    "atpg.faults.untestable", "faults proven untestable"
+)
+ATPG_FAULTS_ABORTED = register_counter(
+    "atpg.faults.aborted", "faults aborted at the backtrack limit"
+)
+ATPG_PATTERNS_RANDOM = register_counter(
+    "atpg.patterns.random", "patterns kept by the random phase"
+)
+ATPG_PATTERNS_DETERMINISTIC = register_counter(
+    "atpg.patterns.deterministic", "deterministic patterns after compaction"
+)
+ATPG_PATTERNS_PRE_COMPACTION = register_counter(
+    "atpg.patterns.pre_compaction", "deterministic patterns before compaction"
+)
+ATPG_PATTERNS_FINAL = register_counter(
+    "atpg.patterns.final", "patterns kept after verify/prune (the T of the paper)"
+)
 
 
 @dataclass
@@ -171,61 +196,84 @@ def generate_tests(
         random_batches = config.random_batches
         compact = config.compact
         dynamic_compaction = config.dynamic_compaction
-    if circuit is None:
-        circuit = CompiledCircuit(netlist)
-    if faults is None:
-        faults = collapse_faults(circuit)
-    all_faults = list(faults)
 
-    random_result = run_random_phase(
-        circuit, all_faults, seed=seed, max_batches=random_batches
-    )
-    remaining = random_result.remaining_faults
+    tracer = get_tracer()
+    kernel_baseline = sim_stats() if tracer.enabled else None
+    with tracer.span("atpg", circuit=netlist.name, seed=seed):
+        with tracer.span("compile"):
+            if circuit is None:
+                circuit = CompiledCircuit(netlist)
+            if faults is None:
+                faults = collapse_faults(circuit)
+            all_faults = list(faults)
 
-    podem = Podem(circuit, backtrack_limit=backtrack_limit)
-    simulator = FaultSimulator(circuit)
-    deterministic: List[TestPattern] = []
-    untestable: List[Fault] = []
-    aborted: List[Fault] = []
-    queue: Deque[Fault] = deque(remaining)
-    block = _PatternBlock(simulator)
-    while queue:
-        fault = queue.popleft()
-        # Lazy fault dropping: a fault detected by any pattern since the
-        # last flush is discarded here, exactly where the eager
-        # per-pattern filter would already have removed it.
-        if block.detects(fault):
-            continue
-        result = podem.generate(fault)
-        if result.outcome is PodemOutcome.UNTESTABLE:
-            untestable.append(fault)
-            continue
-        if result.outcome is PodemOutcome.ABORTED:
-            aborted.append(fault)
-            continue
-        pattern = result.pattern
-        if dynamic_compaction > 0:
-            pattern = _extend_with_secondary_targets(
-                podem,
-                pattern,
-                _pop_secondary_candidates(queue, block, dynamic_compaction),
-            )
-        deterministic.append(pattern)
-        block.add(pattern)
-        if block.full:
-            block.flush(queue)
+        random_result = run_random_phase(
+            circuit, all_faults, seed=seed, max_batches=random_batches
+        )
+        remaining = random_result.remaining_faults
 
-    pre_compaction = len(deterministic)
-    if compact and deterministic:
-        deterministic = static_compact(deterministic)
+        podem = Podem(circuit, backtrack_limit=backtrack_limit)
+        simulator = FaultSimulator(circuit)
+        deterministic: List[TestPattern] = []
+        untestable: List[Fault] = []
+        aborted: List[Fault] = []
+        queue: Deque[Fault] = deque(remaining)
+        block = _PatternBlock(simulator)
+        with tracer.span("podem"):
+            while queue:
+                fault = queue.popleft()
+                # Lazy fault dropping: a fault detected by any pattern
+                # since the last flush is discarded here, exactly where
+                # the eager per-pattern filter would already have
+                # removed it.
+                if block.detects(fault):
+                    continue
+                result = podem.generate(fault)
+                if result.outcome is PodemOutcome.UNTESTABLE:
+                    untestable.append(fault)
+                    continue
+                if result.outcome is PodemOutcome.ABORTED:
+                    aborted.append(fault)
+                    continue
+                pattern = result.pattern
+                if dynamic_compaction > 0:
+                    pattern = _extend_with_secondary_targets(
+                        podem,
+                        pattern,
+                        _pop_secondary_candidates(queue, block, dynamic_compaction),
+                    )
+                deterministic.append(pattern)
+                block.add(pattern)
+                if block.full:
+                    block.flush(queue)
 
-    combined = TestSet(
-        circuit_name=netlist.name,
-        patterns=random_result.patterns + deterministic,
-    )
-    filled = combined.filled(circuit, seed=seed)
+        pre_compaction = len(deterministic)
+        with tracer.span("compact"):
+            if compact and deterministic:
+                deterministic = static_compact(deterministic)
 
-    kept, detected = _verify_and_prune(circuit, filled, all_faults, simulator)
+        combined = TestSet(
+            circuit_name=netlist.name,
+            patterns=random_result.patterns + deterministic,
+        )
+        with tracer.span("fill"):
+            filled = combined.filled(circuit, seed=seed)
+
+        with tracer.span("verify"):
+            kept, detected = _verify_and_prune(circuit, filled, all_faults, simulator)
+
+        if tracer.enabled:
+            tracer.count(ATPG_RUNS)
+            tracer.count(ATPG_FAULTS_TOTAL, len(all_faults))
+            tracer.count(ATPG_FAULTS_DETECTED, detected)
+            tracer.count(ATPG_FAULTS_UNTESTABLE, len(untestable))
+            tracer.count(ATPG_FAULTS_ABORTED, len(aborted))
+            tracer.count(ATPG_PATTERNS_RANDOM, len(random_result.patterns))
+            tracer.count(ATPG_PATTERNS_DETERMINISTIC, len(deterministic))
+            tracer.count(ATPG_PATTERNS_PRE_COMPACTION, pre_compaction)
+            tracer.count(ATPG_PATTERNS_FINAL, len(kept))
+            publish_kernel_stats(tracer, kernel_baseline)
+
     return AtpgResult(
         circuit_name=netlist.name,
         test_set=kept,
@@ -327,8 +375,8 @@ def _verify_and_prune(
 def generate_n_detect_tests(
     netlist: Netlist,
     n_detect: int = 3,
-    seed: int = 0,
-    backtrack_limit: int = 100,
+    seed: Optional[int] = None,
+    backtrack_limit: Optional[int] = None,
     max_passes: Optional[int] = None,
     config: Optional[AtpgConfig] = None,
 ) -> AtpgResult:
@@ -345,7 +393,24 @@ def generate_n_detect_tests(
     The result's ``test_set`` is the concatenation of the per-pass sets
     (re-verified as a whole); ``detected_count`` counts faults that met
     the full quota.
+
+    The engine knobs belong in ``config``
+    (:class:`~repro.runtime.config.AtpgConfig`); the loose ``seed`` /
+    ``backtrack_limit`` keywords are deprecated shims kept for one
+    release, and ``config`` wins over them as it always has.
     """
+    if seed is not None or backtrack_limit is not None:
+        warnings.warn(
+            "generate_n_detect_tests(seed=..., backtrack_limit=...) is "
+            "deprecated; pass config=AtpgConfig(seed=..., "
+            "backtrack_limit=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if seed is None:
+        seed = 0
+    if backtrack_limit is None:
+        backtrack_limit = 100
     if config is not None:
         seed = config.seed
         backtrack_limit = config.backtrack_limit
@@ -428,8 +493,10 @@ def extract_cone_netlist(netlist: Netlist, cone: Cone) -> Netlist:
 
 def per_cone_pattern_counts(
     netlist: Netlist,
-    seed: int = 0,
-    backtrack_limit: int = 50,
+    runtime=None,
+    *,
+    seed: Optional[int] = None,
+    backtrack_limit: Optional[int] = None,
 ) -> Dict[str, int]:
     """Stand-alone ATPG pattern count for every logic cone.
 
@@ -437,13 +504,46 @@ def per_cone_pattern_counts(
     variation of per-cone pattern counts that monolithic testing tops
     off to the maximum.  Intended for small circuits (it runs one ATPG
     per cone).
+
+    ``runtime`` (a :class:`repro.runtime.Runtime`) supplies the config,
+    cache, and worker fan-out for the per-cone runs; without one, the
+    historical defaults apply (seed 0, backtrack limit 50 — cones are
+    small, so the tighter limit loses nothing).  The loose ``seed`` /
+    ``backtrack_limit`` keywords are deprecated shims kept for one
+    release; they override the corresponding config fields.
     """
-    counts: Dict[str, int] = {}
-    for cone in extract_cones(netlist):
+    # Imported lazily: the engine sits below the runtime facade.
+    from ..runtime.executor import AtpgJob
+    from ..runtime.session import ensure_runtime
+
+    if seed is not None or backtrack_limit is not None:
+        warnings.warn(
+            "per_cone_pattern_counts(seed=..., backtrack_limit=...) is "
+            "deprecated; pass runtime=Runtime(config=AtpgConfig(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    config = runtime.config if runtime is not None else AtpgConfig(backtrack_limit=50)
+    if seed is not None:
+        config = config.with_seed(seed)
+    if backtrack_limit is not None:
+        config = replace(config, backtrack_limit=backtrack_limit)
+    runtime = ensure_runtime(runtime)
+
+    cones = extract_cones(netlist)
+    # Feed-through cones (no gates) have nothing to test; pre-filling
+    # every output keeps the historical cone-order dict layout while
+    # the real jobs run (possibly out of order) through the runtime.
+    counts: Dict[str, int] = {cone.output: 0 for cone in cones}
+    jobs: List[AtpgJob] = []
+    job_outputs: List[str] = []
+    for cone in cones:
         if not cone.gates:
-            counts[cone.output] = 0  # feed-through: nothing to test
             continue
         sub = extract_cone_netlist(netlist, cone)
-        result = generate_tests(sub, seed=seed, backtrack_limit=backtrack_limit)
-        counts[cone.output] = result.pattern_count
+        jobs.append(AtpgJob(name=sub.name, netlist=sub, config=config))
+        job_outputs.append(cone.output)
+    if jobs:
+        for output, result in zip(job_outputs, runtime.map(jobs)):
+            counts[output] = result.pattern_count
     return counts

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..observability import register_counter
 from .compiled import OP_AND, OP_NAND, OP_NOR, OP_NOT, OP_XNOR, CompiledCircuit
 from .faults import Fault
 from .logicsim import (
@@ -50,6 +51,31 @@ def reset_sim_stats() -> None:
 def sim_stats() -> Dict[str, int]:
     """A snapshot of the kernel counters."""
     return dict(SIM_STATS)
+
+
+# Tracer metric names for the kernel counters above.  The inner kernel
+# never calls the tracer (per-event overhead would be measurable);
+# instead callers snapshot SIM_STATS around a span and publish the
+# delta once via :func:`publish_kernel_stats`.
+KERNEL_METRICS = {
+    "detect_calls": register_counter(
+        "faultsim.detect_calls", "fault-simulation kernel invocations"
+    ),
+    "fault_pattern_evals": register_counter(
+        "faultsim.fault_pattern_evals", "fault x pattern pairs simulated"
+    ),
+    "gate_evals": register_counter(
+        "faultsim.gate_evals", "gate re-evaluations in the event kernel"
+    ),
+}
+
+
+def publish_kernel_stats(tracer, baseline: Dict[str, int]) -> None:
+    """Count the SIM_STATS growth since ``baseline`` into ``tracer``."""
+    for key, metric in KERNEL_METRICS.items():
+        delta = SIM_STATS[key] - baseline.get(key, 0)
+        if delta:
+            tracer.count(metric, delta)
 
 
 GoodValues = Union[RailBatch, List[Rail]]

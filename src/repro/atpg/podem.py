@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit.gates import GateType
+from ..observability import get_tracer, register_counter
 from .compiled import (
     OP_AND,
     OP_NAND,
@@ -80,6 +81,10 @@ _INVERTING_OPS = frozenset((OP_NOT, OP_NAND, OP_NOR, OP_XNOR))
 
 # Evaluation kinds for the implication loop.
 _KIND_BUF, _KIND_NOT, _KIND_PAIR, _KIND_FOLD = range(4)
+
+PODEM_CALLS = register_counter("podem.calls", "PODEM searches attempted")
+PODEM_BACKTRACKS = register_counter("podem.backtracks", "decision flips taken")
+PODEM_DECISIONS = register_counter("podem.decisions", "input decisions made")
 
 
 class PodemOutcome(enum.Enum):
@@ -147,6 +152,19 @@ class Podem:
         pattern instead of opening a new one.  An UNTESTABLE outcome
         with ``frozen`` set means only "not under these constraints".
         """
+        result = self._generate(fault, frozen)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count(PODEM_CALLS)
+            if result.backtracks:
+                tracer.count(PODEM_BACKTRACKS, result.backtracks)
+            if result.decisions:
+                tracer.count(PODEM_DECISIONS, result.decisions)
+        return result
+
+    def _generate(
+        self, fault: Fault, frozen: Optional[Dict[int, int]] = None
+    ) -> PodemResult:
         assignments: Dict[int, int] = dict(frozen) if frozen else {}
         stack: List[Tuple[int, bool]] = []  # (net_id, already flipped)
         backtracks = 0

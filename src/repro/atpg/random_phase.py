@@ -13,10 +13,21 @@ import random
 from dataclasses import dataclass, field
 from typing import List
 
+from ..observability import get_tracer, register_counter
 from .compiled import CompiledCircuit
 from .faults import Fault
 from .faultsim import FaultSimulator
 from .patterns import TestPattern, random_pattern
+
+RANDOM_BATCHES = register_counter(
+    "random_phase.batches", "random-pattern batches simulated"
+)
+RANDOM_PATTERNS_KEPT = register_counter(
+    "random_phase.patterns_kept", "random patterns kept as first detectors"
+)
+RANDOM_FAULTS_DROPPED = register_counter(
+    "random_phase.faults_dropped", "faults detected (dropped) by random patterns"
+)
 
 
 @dataclass
@@ -41,6 +52,26 @@ def run_random_phase(
     least one remaining fault are kept, so the kept set carries no
     obviously redundant members.
     """
+    tracer = get_tracer()
+    with tracer.span("random_phase"):
+        result = _run_batches(
+            circuit, faults, seed, batch_size, max_batches, min_yield
+        )
+        if tracer.enabled:
+            tracer.count(RANDOM_BATCHES, result.batches)
+            tracer.count(RANDOM_PATTERNS_KEPT, len(result.patterns))
+            tracer.count(RANDOM_FAULTS_DROPPED, result.detected)
+    return result
+
+
+def _run_batches(
+    circuit: CompiledCircuit,
+    faults: List[Fault],
+    seed: int,
+    batch_size: int,
+    max_batches: int,
+    min_yield: int,
+) -> RandomPhaseResult:
     simulator = FaultSimulator(circuit)
     rng = random.Random(seed)
     result = RandomPhaseResult(remaining_faults=list(faults))

@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .atpg import dump_vectors, export_program
-from .circuit import load_bench_file, load_verilog_file, netlist_stats
+from .circuit import netlist_stats
 from .core import decompose, soc_table, summarize
 from .experiments.runner import (
     EXPERIMENTS,
@@ -34,26 +34,14 @@ from .experiments.runner import (
     run_experiment,
     runtime_from_args,
 )
+from .io import load_netlist, load_soc
 from .itc02 import benchmark_names, load
 from .itc02.stats import explain_outcome, suite_report
 from .soc.diagram import hierarchy_summary, hierarchy_tree
 
 
-def _load_soc(path: str):
-    """Load an SOC description: the package .soc dialect, or — when the
-    file carries a native ITC'02 ``SocName`` header — that format."""
-    text = Path(path).read_text()
-    if "SocName" in text.split("\n", 5)[0] or "SocName" in text[:400]:
-        from .itc02 import native_to_soc
-
-        return native_to_soc(text)
-    from .itc02 import parse_soc
-
-    return parse_soc(text).soc
-
-
 def _cmd_tdv(args: argparse.Namespace) -> int:
-    soc = _load_soc(args.design)
+    soc = load_soc(args.design)
     if args.json:
         from .core.serialization import analysis_report, dumps
 
@@ -74,15 +62,8 @@ def _cmd_tdv(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_netlist(path: str):
-    """Load a netlist by extension: .v is Verilog, anything else .bench."""
-    if path.endswith(".v") or path.endswith(".sv"):
-        return load_verilog_file(path)
-    return load_bench_file(path)
-
-
 def _cmd_atpg(args: argparse.Namespace) -> int:
-    netlist = _load_netlist(args.design)
+    netlist = load_netlist(args.design)
     print(f"{netlist.name}: {netlist_stats(netlist)}")
     runtime = runtime_from_args(args, seed=args.seed)
     result = runtime.generate(netlist)
@@ -98,7 +79,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 
 
 def _cmd_vectors(args: argparse.Namespace) -> int:
-    netlist = _load_netlist(args.design)
+    netlist = load_netlist(args.design)
     runtime = runtime_from_args(args, seed=args.seed)
     result = runtime.generate(netlist)
     report_runtime(runtime)

@@ -60,7 +60,10 @@ def bist_study(
     )
 
 
-def fill_study(seed: int = 9) -> Dict[str, Dict[str, float]]:
+def fill_study(
+    seed: Optional[int] = None,
+    runtime: Optional[Runtime] = None,
+) -> Dict[str, Dict[str, float]]:
     """The X-fill triangle on a generated core's partial patterns.
 
     Adjacent fill minimizes shift transitions (power), constant fill
@@ -71,59 +74,76 @@ def fill_study(seed: int = 9) -> Dict[str, Dict[str, float]]:
     from ..atpg import Podem, TestSet, collapse_faults
     from ..atpg.fill import fill_strategy_report
 
-    netlist = generate_circuit(
-        GeneratorSpec(name="fill_core", inputs=18, outputs=8, flip_flops=40,
-                      target_gates=360, seed=seed)
-    )
-    circuit = CompiledCircuit(netlist)
-    podem = Podem(circuit)
-    partial = TestSet(netlist.name)
-    for fault in collapse_faults(circuit):
-        outcome = podem.generate(fault)
-        if outcome.pattern is not None:
-            partial.add(outcome.pattern)
-    return fill_strategy_report(partial, circuit, seed=seed)
+    seed = 9 if seed is None else seed
+    runtime = ensure_runtime(runtime)
+    with runtime.activate():
+        netlist = generate_circuit(
+            GeneratorSpec(name="fill_core", inputs=18, outputs=8, flip_flops=40,
+                          target_gates=360, seed=seed)
+        )
+        circuit = CompiledCircuit(netlist)
+        podem = Podem(circuit)
+        partial = TestSet(netlist.name)
+        for fault in collapse_faults(circuit):
+            outcome = podem.generate(fault)
+            if outcome.pattern is not None:
+                partial.add(outcome.pattern)
+        return fill_strategy_report(partial, circuit, seed=seed)
 
 
-def compression_study(seed: int = 9) -> Tuple[CompressionReport, CompressionReport]:
+def compression_study(
+    seed: Optional[int] = None,
+    runtime: Optional[Runtime] = None,
+) -> Tuple[CompressionReport, CompressionReport]:
     """Care-bit density and compressibility: partial vs filled patterns.
 
     PODEM's partial patterns model the per-core (modular) situation —
     only the targeted core's bits are specified; the deterministically
     filled versions model delivery, where every bit is shifted.
     """
-    netlist = generate_circuit(
-        GeneratorSpec(name="compress_core", inputs=24, outputs=10,
-                      flip_flops=60, target_gates=460, seed=seed)
-    )
-    circuit = CompiledCircuit(netlist)
-    podem = Podem(circuit)
-    partial = TestSet(netlist.name)
-    for fault in collapse_faults(circuit):
-        outcome = podem.generate(fault)
-        if outcome.pattern is not None:
-            partial.add(outcome.pattern)
-    filled = partial.filled(circuit, seed=seed)
-    return (
-        compress_streams("partial (modular-style)", pattern_streams(circuit, partial)),
-        compress_streams("filled (delivery)", pattern_streams(circuit, filled)),
-    )
+    seed = 9 if seed is None else seed
+    runtime = ensure_runtime(runtime)
+    with runtime.activate():
+        netlist = generate_circuit(
+            GeneratorSpec(name="compress_core", inputs=24, outputs=10,
+                          flip_flops=60, target_gates=460, seed=seed)
+        )
+        circuit = CompiledCircuit(netlist)
+        podem = Podem(circuit)
+        partial = TestSet(netlist.name)
+        for fault in collapse_faults(circuit):
+            outcome = podem.generate(fault)
+            if outcome.pattern is not None:
+                partial.add(outcome.pattern)
+        filled = partial.filled(circuit, seed=seed)
+        return (
+            compress_streams(
+                "partial (modular-style)", pattern_streams(circuit, partial)
+            ),
+            compress_streams("filled (delivery)", pattern_streams(circuit, filled)),
+        )
 
 
-def abort_on_fail_study(soc_name: str = "d695", tam_width: int = 8) -> AbortOnFailStudy:
+def abort_on_fail_study(
+    soc_name: str = "d695",
+    tam_width: int = 8,
+    runtime: Optional[Runtime] = None,
+) -> AbortOnFailStudy:
     """Expected tester time with and without fail-probability ordering.
 
     Fail probabilities follow an area-proportional defect model over
     each core's scan population.
     """
-    soc = load(soc_name)
-    specs = core_specs_from_soc(soc)
-    biggest = max(sum(spec.scan_chains) for spec in specs) or 1
-    probabilities: Dict[str, float] = {
-        spec.name: 0.02 + 0.25 * sum(spec.scan_chains) / biggest
-        for spec in specs
-    }
-    return abort_study(specs, probabilities, tam_width=tam_width)
+    runtime = ensure_runtime(runtime)
+    with runtime.activate():
+        soc = load(soc_name)
+        specs = core_specs_from_soc(soc)
+        biggest = max(sum(spec.scan_chains) for spec in specs) or 1
+        probabilities: Dict[str, float] = {
+            spec.name: 0.02 + 0.25 * sum(spec.scan_chains) / biggest
+            for spec in specs
+        }
+        return abort_study(specs, probabilities, tam_width=tam_width)
 
 
 @dataclass
@@ -147,7 +167,10 @@ class TestPointStudy:
 
 
 def test_point_study(
-    seed: int = 21, budget: int = 16, patterns: int = 128
+    seed: Optional[int] = None,
+    budget: int = 16,
+    patterns: int = 128,
+    runtime: Optional[Runtime] = None,
 ) -> TestPointStudy:
     """SCOAP-guided test points on a random-pattern-resistant core.
 
@@ -159,21 +182,24 @@ def test_point_study(
     from ..atpg import apply_test_points, run_bist
     from ..atpg.testpoints import map_faults_to_instrumented
 
-    netlist = generate_circuit(
-        GeneratorSpec(name="tp_core", inputs=40, outputs=8, flip_flops=24,
-                      target_gates=420, min_cone_width=12, max_cone_width=18,
-                      xor_fraction=0.0, overlap=0.3, seed=seed)
-    )
-    _plan, instrumented = apply_test_points(
-        netlist, budget=budget, observe_threshold=10, control_threshold=10
-    )
-    original_faults, mapped_faults = map_faults_to_instrumented(
-        netlist, instrumented
-    )
-    before = run_bist(netlist, patterns=patterns, seed=seed,
-                      faults=original_faults)
-    after = run_bist(instrumented, patterns=patterns, seed=seed,
-                     faults=mapped_faults)
+    seed = 21 if seed is None else seed
+    runtime = ensure_runtime(runtime)
+    with runtime.activate():
+        netlist = generate_circuit(
+            GeneratorSpec(name="tp_core", inputs=40, outputs=8, flip_flops=24,
+                          target_gates=420, min_cone_width=12, max_cone_width=18,
+                          xor_fraction=0.0, overlap=0.3, seed=seed)
+        )
+        _plan, instrumented = apply_test_points(
+            netlist, budget=budget, observe_threshold=10, control_threshold=10
+        )
+        original_faults, mapped_faults = map_faults_to_instrumented(
+            netlist, instrumented
+        )
+        before = run_bist(netlist, patterns=patterns, seed=seed,
+                          faults=original_faults)
+        after = run_bist(instrumented, patterns=patterns, seed=seed,
+                         faults=mapped_faults)
     return TestPointStudy(
         coverage_before=before.fault_coverage,
         coverage_after=after.fault_coverage,
@@ -240,13 +266,13 @@ def run(
     """
     runtime = ensure_runtime(runtime)
     bist = bist_study(**({} if seed is None else {"seed": seed}), runtime=runtime)
-    partial, filled = compression_study(**({} if seed is None else {"seed": seed}))
-    abort = abort_on_fail_study()
-    points = test_point_study(**({} if seed is None else {"seed": seed}))
+    partial, filled = compression_study(seed=seed, runtime=runtime)
+    abort = abort_on_fail_study(runtime=runtime)
+    points = test_point_study(seed=seed, runtime=runtime)
     at_speed = at_speed_study(
         **({} if seed is None else {"seed": seed}), runtime=runtime
     )
-    fill = fill_study(**({} if seed is None else {"seed": seed}))
+    fill = fill_study(seed=seed, runtime=runtime)
     if verbose:
         print("Extension 1: BIST vs external test data")
         print(f"  ATE scan test: {bist.ate_patterns} patterns, "

@@ -34,6 +34,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..observability import register_counter
 from ..runtime.session import Runtime, ensure_runtime
 from . import (
     ablation,
@@ -49,14 +50,27 @@ EXPERIMENTS = (
     "correlation", "ablation", "extensions",
 )
 
+EXPERIMENT_RUNS = register_counter("experiments.runs", "experiments executed")
+
 
 def run_experiment(
     name: str,
     seed: Optional[int] = None,
     runtime: Optional[Runtime] = None,
 ) -> None:
-    """Run one experiment, threading seed and runtime into it."""
+    """Run one experiment, threading seed and runtime into it.
+
+    The whole experiment runs under the runtime's tracer (if any), so
+    even its non-runtime work lands inside one ``experiment`` span.
+    """
     runtime = ensure_runtime(runtime)
+    with runtime.activate() as tracer:
+        with tracer.span("experiment", name=name):
+            tracer.count(EXPERIMENT_RUNS)
+            _dispatch(name, seed, runtime)
+
+
+def _dispatch(name: str, seed: Optional[int], runtime: Runtime) -> None:
     if name == "cone-example":
         cone_example.run(seed=seed, runtime=runtime)
     elif name == "table1":
@@ -98,6 +112,14 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the ATPG result cache entirely",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a JSONL span/counter trace of the whole run to FILE",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry summary table to stderr after the run",
+    )
 
 
 def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> Runtime:
@@ -107,13 +129,24 @@ def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> R
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         seed=seed,
+        trace=args.trace,
+        metrics=args.metrics,
     )
 
 
 def report_runtime(runtime: Runtime) -> None:
-    """Print the run manifest to stderr (stdout carries only tables)."""
+    """Print the run manifest and telemetry to stderr (stdout carries
+    only tables)."""
     if runtime.manifest.job_count:
         print(f"[runtime] {runtime.summary()}", file=sys.stderr)
+    tracer = runtime.tracer
+    if tracer is None:
+        return
+    if runtime.metrics_requested:
+        print(f"[metrics]\n{tracer.summary()}", file=sys.stderr)
+    tracer.flush()
+    if runtime.trace_path:
+        print(f"[trace] wrote {runtime.trace_path}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,52 @@
+"""Public file loaders shared by the CLIs, examples, and library users.
+
+These used to live as private helpers inside :mod:`repro.cli`; they are
+the one place that knows how on-disk design files map onto the package's
+object model, so they are public API.
+
+Format sniffing, documented:
+
+:func:`load_soc`
+    SOC descriptions come in two dialects.  A native ITC'02 file starts
+    with a ``SocName <name>`` header, so the loader checks the first
+    line (and, to tolerate leading comments, the first 400 characters)
+    for ``SocName`` and routes to :func:`repro.itc02.native_to_soc`;
+    everything else is parsed as the package's own ``.soc`` dialect via
+    :func:`repro.itc02.parse_soc`.
+
+:func:`load_netlist`
+    Netlists are distinguished purely by extension: ``.v`` / ``.sv``
+    parse as the structural-Verilog subset
+    (:func:`repro.circuit.load_verilog_file`); anything else — by
+    convention ``.bench`` — as ISCAS BENCH format
+    (:func:`repro.circuit.load_bench_file`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from .circuit import load_bench_file, load_verilog_file
+from .circuit.netlist import Netlist
+from .soc import Soc
+
+
+def load_soc(path: Union[str, Path]) -> Soc:
+    """Load an SOC description, sniffing native-ITC'02 vs .soc dialect."""
+    text = Path(path).read_text()
+    if "SocName" in text.split("\n", 5)[0] or "SocName" in text[:400]:
+        from .itc02 import native_to_soc
+
+        return native_to_soc(text)
+    from .itc02 import parse_soc
+
+    return parse_soc(text).soc
+
+
+def load_netlist(path: Union[str, Path]) -> Netlist:
+    """Load a netlist by extension: .v/.sv is Verilog, anything else BENCH."""
+    path = str(path)
+    if path.endswith(".v") or path.endswith(".sv"):
+        return load_verilog_file(path)
+    return load_bench_file(path)

@@ -1,0 +1,62 @@
+"""Zero-dependency tracing and metrics for the whole execution stack.
+
+The paper's headline numbers come out of many per-core ATPG runs whose
+cost structure — random phase vs PODEM vs fault-simulation time, cache
+hits, compaction effectiveness — was invisible beyond a single
+wall-clock figure.  This package makes it observable without touching
+what is computed:
+
+``repro.observability.tracer``
+    :class:`Tracer` — nested spans with monotonic-clock timing plus
+    named counters/gauges; a process-global :class:`NullTracer` default
+    keeps the hot path free when tracing is off; ``export()`` /
+    ``merge()`` carry traces across process-pool workers.
+``repro.observability.metrics``
+    The typed counter/gauge registry.  Instrumented modules register
+    their metric names (with kind and help text) at import time, so a
+    summary can explain every number it prints.
+``repro.observability.sinks``
+    Structured outputs: a JSONL event-log writer, an in-memory
+    collector for tests, and the human-readable per-run summary table.
+
+The package deliberately imports nothing from the rest of ``repro`` —
+it sits below :mod:`repro.runtime.config` so every layer (ATPG kernels,
+runtime, experiments, CLIs, benchmarks) can instrument itself without
+layering cycles.  Instrumentation only *reads* engine state; a traced
+run is bit-identical to an untraced one
+(``tests/test_observability.py`` enforces this differentially).
+"""
+
+from __future__ import annotations
+
+from .metrics import Metric, registered_metrics, register_counter, register_gauge
+from .sinks import JsonlSink, MemorySink, load_trace, summary_table
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    phase_breakdown,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "Metric",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "load_trace",
+    "phase_breakdown",
+    "register_counter",
+    "register_gauge",
+    "registered_metrics",
+    "set_tracer",
+    "summary_table",
+    "use_tracer",
+]

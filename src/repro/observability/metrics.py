@@ -1,0 +1,72 @@
+"""The typed counter/gauge registry.
+
+Every instrumented module declares its metrics once, at import time::
+
+    PATTERNS_RANDOM = register_counter(
+        "atpg.patterns.random", "patterns kept by the random phase")
+
+and then feeds values through the active tracer
+(``tracer.count(PATTERNS_RANDOM, n)``).  Registration buys two things:
+a single place that documents what each name means (the summary table
+and the JSONL schema reference it), and a typo guard — counting into an
+unregistered name is allowed (third parties may extend the namespace)
+but re-registering a name with a different kind is an error.
+
+Counters are monotonic sums (merging across worker processes adds
+them); gauges are last-write-wins point samples (a utilization, a
+ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+COUNTER = "counter"
+GAUGE = "gauge"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One registered metric: its wire name, kind, and meaning."""
+
+    name: str
+    kind: str  # COUNTER or GAUGE
+    help: str
+
+
+_REGISTRY: Dict[str, Metric] = {}
+
+
+def _register(name: str, kind: str, help: str) -> str:
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {existing.kind}, "
+                f"cannot re-register as a {kind}"
+            )
+        return name
+    _REGISTRY[name] = Metric(name=name, kind=kind, help=help)
+    return name
+
+
+def register_counter(name: str, help: str) -> str:
+    """Register a monotonic counter; returns ``name`` for direct use."""
+    return _register(name, COUNTER, help)
+
+
+def register_gauge(name: str, help: str) -> str:
+    """Register a point-sample gauge; returns ``name`` for direct use."""
+    return _register(name, GAUGE, help)
+
+
+def registered_metrics() -> Dict[str, Metric]:
+    """A snapshot of every registered metric, keyed by name."""
+    return dict(_REGISTRY)
+
+
+def metric_help(name: str) -> str:
+    """The registered help text, or "" for ad-hoc names."""
+    metric = _REGISTRY.get(name)
+    return metric.help if metric is not None else ""

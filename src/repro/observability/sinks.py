@@ -1,0 +1,161 @@
+"""Structured trace outputs: JSONL event log, test collector, summary table.
+
+All sinks consume the exported-trace dict (``Tracer.export()``) and
+share one flat event schema — each event is a dict with a ``type`` key:
+
+``{"type": "meta", ...}``
+    One header line per flushed trace (schema version, span count).
+``{"type": "span", "name": ..., "depth": ..., "start": ..., "duration": ..., "attrs": {...}}``
+    One line per span, in entry (preorder) order.
+``{"type": "counter", "name": ..., "value": ...}``
+``{"type": "gauge", "name": ..., "value": ...}``
+    Final counter/gauge values at flush time.
+
+The JSONL form is the on-disk interchange format (``--trace FILE``);
+:func:`load_trace` reads it back into the same shape ``export()``
+produced, so round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .metrics import metric_help
+
+SCHEMA_VERSION = 1
+
+
+def trace_events(export: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Flatten an exported trace into the shared event-dict stream."""
+    events: List[Dict[str, Any]] = [
+        {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "spans": len(export.get("spans", ())),
+        }
+    ]
+    for span in export.get("spans", ()):
+        events.append({"type": "span", **span})
+    for name, value in export.get("counters", {}).items():
+        events.append({"type": "counter", "name": name, "value": value})
+    for name, value in export.get("gauges", {}).items():
+        events.append({"type": "gauge", "name": name, "value": value})
+    return events
+
+
+class JsonlSink:
+    """Writes one JSON event per line to ``path``.
+
+    ``append=True`` accumulates multiple traces in one file (each with
+    its own ``meta`` header) — the benchmark harness uses this to stack
+    per-benchmark traces.
+    """
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = str(path)
+        self._file = open(self.path, "a" if append else "w", encoding="utf-8")
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def write_trace(self, export: Dict[str, Any]) -> None:
+        for event in trace_events(export):
+            self.write(event)
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+class MemorySink:
+    """Collects events in memory — the test double for :class:`JsonlSink`."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def write_trace(self, export: Dict[str, Any]) -> None:
+        for event in trace_events(export):
+            self.write(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Read a JSONL trace file back into exported-trace shape.
+
+    Returns ``{"meta": [...], "spans": [...], "counters": {...},
+    "gauges": {...}}``.  If the file holds several appended traces their
+    spans concatenate, counters sum, and gauges last-write-win — the
+    same semantics as ``Tracer.merge``.
+    """
+    meta: List[Dict[str, Any]] = []
+    spans: List[Dict[str, Any]] = []
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            kind = event.pop("type", None)
+            if kind == "meta":
+                meta.append(event)
+            elif kind == "span":
+                spans.append(event)
+            elif kind == "counter":
+                counters[event["name"]] = counters.get(event["name"], 0) + event["value"]
+            elif kind == "gauge":
+                gauges[event["name"]] = event["value"]
+    return {"meta": meta, "spans": spans, "counters": counters, "gauges": gauges}
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def summary_table(tracer: Any) -> str:
+    """The human-readable per-run summary (``--metrics`` output).
+
+    Aggregates spans by name (call count, total seconds) and lists
+    final counter/gauge values with their registered help text.
+    """
+    export = tracer.export() if hasattr(tracer, "export") else tracer
+    lines: List[str] = []
+
+    by_name: Dict[str, List[float]] = {}
+    for span in export.get("spans", ()):
+        stats = by_name.setdefault(span["name"], [0, 0.0])
+        stats[0] += 1
+        stats[1] += span["duration"]
+    if by_name:
+        lines.append("spans:")
+        width = max(len(name) for name in by_name)
+        for name, (calls, total) in sorted(
+            by_name.items(), key=lambda item: -item[1][1]
+        ):
+            lines.append(f"  {name:<{width}}  {int(calls):>6} call(s)  {total:>10.3f}s")
+
+    for kind, values in (("counters", export.get("counters", {})),
+                         ("gauges", export.get("gauges", {}))):
+        if not values:
+            continue
+        lines.append(f"{kind}:")
+        width = max(len(name) for name in values)
+        for name in sorted(values):
+            help_text = metric_help(name)
+            suffix = f"  # {help_text}" if help_text else ""
+            lines.append(f"  {name:<{width}}  {_format_value(values[name]):>12}{suffix}")
+
+    if not lines:
+        return "(no telemetry recorded)"
+    return "\n".join(lines)

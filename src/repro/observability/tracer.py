@@ -1,0 +1,265 @@
+"""Nested-span tracing with counters, and the process-global default.
+
+Two tracer types share one duck-typed interface:
+
+* :class:`Tracer` records :class:`SpanRecord` values (name, depth,
+  monotonic start offset, duration, attributes) plus named counters and
+  gauges, and can ``export()`` itself to a plain-JSON dict — the form
+  that crosses process boundaries and lands in sinks.
+* :class:`NullTracer` is the process-global default: ``span()`` hands
+  back one shared no-op context manager and ``count``/``gauge`` do
+  nothing, so instrumented hot paths cost two attribute lookups when
+  tracing is off.  Code that would pay more than that (snapshotting
+  kernel stats, building attribute dicts) guards on ``tracer.enabled``.
+
+The active tracer is process-global state (``get_tracer`` /
+``set_tracer`` / the ``use_tracer`` context manager), not a parameter
+threaded through every call — the ATPG kernels sit many layers below
+the runtime and must stay signature-stable.  Worker processes build
+their own :class:`Tracer`, export it, and the parent ``merge()``\\ s the
+result: child spans keep their child-relative clock (only durations are
+comparable across processes) and are grafted below the parent's current
+depth with any attributes the parent adds to the root (e.g. the job
+name).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+TracerLike = Union["Tracer", "NullTracer"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    name: str
+    depth: int
+    start: float  # seconds since the owning tracer's epoch
+    duration: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=data["name"],
+            depth=data["depth"],
+            start=data["start"],
+            duration=data["duration"],
+            attrs=dict(data.get("attrs") or {}),
+        )
+
+
+class _NullSpan:
+    """The shared no-op span context; also what NullTracer.span returns."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The do-nothing tracer installed by default.
+
+    Instrumentation calls stay in place at zero observable cost:
+    ``span()`` returns one shared no-op context manager, ``count`` and
+    ``gauge`` discard their arguments, ``enabled`` is False so callers
+    can skip any work beyond the call itself.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, /, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _SpanContext:
+    """Context manager opening one span on a real tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_record")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> SpanRecord:
+        tracer = self._tracer
+        record = SpanRecord(
+            name=self._name,
+            depth=tracer._depth,
+            start=tracer._clock() - tracer.epoch,
+            duration=0.0,
+            attrs=self._attrs,
+        )
+        tracer.spans.append(record)
+        tracer._depth += 1
+        self._record = record
+        return record
+
+    def __exit__(self, *exc) -> bool:
+        tracer = self._tracer
+        record = self._record
+        record.duration = (tracer._clock() - tracer.epoch) - record.start
+        tracer._depth -= 1
+        return False
+
+
+class Tracer:
+    """Collects nested spans, counters and gauges for one run.
+
+    Spans nest by call structure: ``depth`` is the number of open
+    ancestors at entry, and records appear in entry order, so the list
+    is a preorder traversal of the span tree.  Timing uses the
+    monotonic ``time.perf_counter`` clock, offset from the tracer's
+    creation (``epoch``).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self.epoch = self._clock()
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.sinks: List[Any] = []
+        self._depth = 0
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, /, **attrs) -> _SpanContext:
+        """Open a nested span: ``with tracer.span("podem", core="s38417")``.
+
+        ``name`` is positional-only so attributes may freely use any
+        keyword — including ``name=`` itself.
+        """
+        return _SpanContext(self, name, attrs)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest sample."""
+        self.gauges[name] = value
+
+    # -- cross-process plumbing ----------------------------------------
+
+    def export(self) -> Dict[str, Any]:
+        """A plain-JSON snapshot: what crosses pickles and lands in sinks."""
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def merge(self, export: Dict[str, Any], **root_attrs) -> None:
+        """Graft an exported (child-process) trace into this tracer.
+
+        Child spans keep their child-relative start offsets — only
+        durations are comparable across processes — and are re-based
+        below this tracer's current depth.  ``root_attrs`` (e.g.
+        ``job="s38417"``) are added to the child's root spans so merged
+        trees stay attributable.  Counters add; gauges last-write-wins.
+        """
+        base_depth = self._depth
+        for data in export.get("spans", ()):
+            record = SpanRecord.from_dict(data)
+            if record.depth == 0 and root_attrs:
+                record.attrs = {**record.attrs, **root_attrs}
+            record.depth += base_depth
+            self.spans.append(record)
+        for name, value in export.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in export.get("gauges", {}).items():
+            self.gauge(name, value)
+
+    # -- output ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write the trace to every attached sink and close them."""
+        export = self.export()
+        for sink in self.sinks:
+            sink.write_trace(export)
+            sink.close()
+
+    def summary(self) -> str:
+        """The human-readable per-run summary table."""
+        from .sinks import summary_table
+
+        return summary_table(self)
+
+
+# -- the process-global active tracer ----------------------------------
+
+_ACTIVE: TracerLike = NULL_TRACER
+
+
+def get_tracer() -> TracerLike:
+    """The active tracer (the shared :data:`NULL_TRACER` by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[TracerLike]) -> TracerLike:
+    """Install ``tracer`` (None restores the null tracer); returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Optional[TracerLike]) -> Iterator[TracerLike]:
+    """Scope ``tracer`` as the active tracer for a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield get_tracer()
+    finally:
+        set_tracer(previous)
+
+
+def phase_breakdown(export: Dict[str, Any], depth: int = 1) -> Dict[str, float]:
+    """Seconds per span name at ``depth`` of an exported trace.
+
+    Depth 1 is the phase level of one engine run (the children of the
+    root ``atpg`` span: random_phase, podem, compact, fill, verify) —
+    the shape the :class:`~repro.runtime.executor.RunManifest` records
+    per job.  Repeated names sum.
+    """
+    phases: Dict[str, float] = {}
+    for span in export.get("spans", ()):
+        if span["depth"] == depth:
+            phases[span["name"]] = phases.get(span["name"], 0.0) + span["duration"]
+    return phases

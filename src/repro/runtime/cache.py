@@ -33,9 +33,14 @@ from ..core.serialization import (
     atpg_result_from_dict,
     atpg_result_to_dict,
 )
+from ..observability import get_tracer, register_counter
 from .config import AtpgConfig
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+CACHE_HITS = register_counter("cache.hits", "ATPG result cache hits")
+CACHE_MISSES = register_counter("cache.misses", "ATPG result cache misses")
+CACHE_STORES = register_counter("cache.stores", "ATPG results written to disk")
 
 
 def default_cache_dir() -> Path:
@@ -125,13 +130,16 @@ class AtpgResultCache:
         if result is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            get_tracer().count(CACHE_HITS)
             return result
         result = self._read_disk(key)
         if result is not None:
             self._remember(key, result)
             self.stats.hits += 1
+            get_tracer().count(CACHE_HITS)
             return result
         self.stats.misses += 1
+        get_tracer().count(CACHE_MISSES)
         return None
 
     def put(self, netlist: Netlist, config: AtpgConfig, result: AtpgResult) -> str:
@@ -151,6 +159,7 @@ class AtpgResultCache:
             tmp.write_text(json.dumps(payload, sort_keys=True))
             tmp.replace(path)  # atomic: a reader never sees a half-written file
             self.stats.stores += 1
+            get_tracer().count(CACHE_STORES)
         return key
 
     def clear(self) -> None:

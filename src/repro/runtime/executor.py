@@ -23,12 +23,29 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..atpg.engine import AtpgResult, generate_tests
 from ..circuit.netlist import Netlist
+from ..observability import (
+    Tracer,
+    get_tracer,
+    phase_breakdown,
+    register_counter,
+    register_gauge,
+    use_tracer,
+)
 from .cache import AtpgResultCache
 from .config import AtpgConfig
+
+EXECUTOR_JOBS = register_counter("executor.jobs", "ATPG jobs submitted")
+EXECUTOR_EXECUTED = register_counter(
+    "executor.executed", "ATPG jobs actually run (cache misses)"
+)
+EXECUTOR_UTILIZATION = register_gauge(
+    "executor.utilization",
+    "busy worker-seconds / (workers x fan-out wall-clock) of the last parallel run",
+)
 
 
 @dataclass(frozen=True)
@@ -49,6 +66,7 @@ class JobRecord:
     cache_hit: bool
     seconds: float
     pattern_count: int
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -79,23 +97,59 @@ class RunManifest:
         """Wall-clock spent in actual ATPG (cache hits cost ~nothing)."""
         return sum(r.seconds for r in self.records if not r.cache_hit)
 
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Traced seconds per engine phase, summed over executed jobs.
+
+        Empty when no job ran under an active tracer — phase timing is
+        observability data, only collected when asked for.
+        """
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for name, seconds in record.phases.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
     def extend(self, other: "RunManifest") -> None:
         self.records.extend(other.records)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.job_count} ATPG jobs: {self.executed} executed "
             f"(workers={self.workers}), {self.cache_hits} cache hits "
             f"({100 * self.hit_rate:.0f}%), {self.atpg_seconds:.2f}s ATPG time"
         )
+        phases = self.phase_seconds
+        if phases:
+            breakdown = ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in sorted(phases.items(), key=lambda kv: -kv[1])
+            )
+            text += f"; phases: {breakdown}"
+        return text
 
 
-def _execute(payload: Tuple[Netlist, AtpgConfig]) -> Tuple[AtpgResult, float]:
-    """Worker entry point (module-level so it pickles)."""
-    netlist, config = payload
+def _execute(
+    payload: Tuple[Netlist, AtpgConfig, bool]
+) -> Tuple[AtpgResult, float, Optional[Dict[str, Any]]]:
+    """Worker entry point (module-level so it pickles).
+
+    When tracing is requested the job runs under its *own* fresh
+    :class:`Tracer` — in a pool worker the fork-inherited global would
+    otherwise alias the parent's (useless to mutate in a child), and in
+    the serial path a private tracer keeps span depths and merge
+    semantics identical to the pool path.  The exported trace rides
+    back with the result for the parent to merge.
+    """
+    netlist, config, traced = payload
     start = time.perf_counter()
+    if traced:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = generate_tests(netlist, config=config)
+        return result, time.perf_counter() - start, tracer.export()
     result = generate_tests(netlist, config=config)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, None
 
 
 def run_jobs(
@@ -110,10 +164,12 @@ def run_jobs(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    tracer = get_tracer()
     manifest = RunManifest(workers=workers)
     results: List[Optional[AtpgResult]] = [None] * len(jobs)
     timings: List[float] = [0.0] * len(jobs)
     hits: List[bool] = [False] * len(jobs)
+    phases: List[Dict[str, float]] = [{} for _ in jobs]
 
     pending: List[int] = []
     for index, job in enumerate(jobs):
@@ -125,13 +181,27 @@ def run_jobs(
             pending.append(index)
 
     if pending:
-        payloads = [(jobs[i].netlist, jobs[i].config) for i in pending]
+        payloads = [(jobs[i].netlist, jobs[i].config, tracer.enabled) for i in pending]
+        fan_out_start = time.perf_counter()
         outcomes = _run_payloads(payloads, workers)
-        for index, (result, seconds) in zip(pending, outcomes):
+        fan_out_wall = time.perf_counter() - fan_out_start
+        for index, (result, seconds, export) in zip(pending, outcomes):
             results[index] = result
             timings[index] = seconds
+            if export is not None:
+                tracer.merge(export, job=jobs[index].name)
+                phases[index] = phase_breakdown(export)
             if cache is not None:
                 cache.put(jobs[index].netlist, jobs[index].config, result)
+        if tracer.enabled:
+            tracer.count(EXECUTOR_EXECUTED, len(pending))
+            if workers > 1 and fan_out_wall > 0:
+                busy = sum(seconds for _, seconds, _ in outcomes)
+                effective = min(workers, len(pending))
+                tracer.gauge(EXECUTOR_UTILIZATION, busy / (effective * fan_out_wall))
+
+    if tracer.enabled and jobs:
+        tracer.count(EXECUTOR_JOBS, len(jobs))
 
     for index, job in enumerate(jobs):
         result = results[index]
@@ -143,14 +213,15 @@ def run_jobs(
                 cache_hit=hits[index],
                 seconds=timings[index],
                 pattern_count=result.pattern_count,
+                phases=phases[index],
             )
         )
     return [r for r in results if r is not None], manifest
 
 
 def _run_payloads(
-    payloads: List[Tuple[Netlist, AtpgConfig]], workers: int
-) -> List[Tuple[AtpgResult, float]]:
+    payloads: List[Tuple[Netlist, AtpgConfig, bool]], workers: int
+) -> List[Tuple[AtpgResult, float, Optional[Dict[str, Any]]]]:
     """Execute payloads serially or across a process pool, in order."""
     if workers == 1 or len(payloads) == 1:
         return [_execute(payload) for payload in payloads]

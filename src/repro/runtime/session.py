@@ -1,44 +1,61 @@
 """The runtime facade the experiments and CLI program against.
 
-A :class:`Runtime` bundles the three execution policies — default
-:class:`~repro.runtime.config.AtpgConfig`, result cache, worker count —
-behind two calls: :meth:`Runtime.generate` for one netlist and
-:meth:`Runtime.map` for a batch.  ``Runtime()`` with no arguments is
-the neutral element: serial, uncached, default config — exactly a
-direct :func:`repro.atpg.engine.generate_tests` call, which is why
-library entry points can take ``runtime=None`` and behave as before.
+A :class:`Runtime` bundles the execution policies — default
+:class:`~repro.runtime.config.AtpgConfig`, result cache, worker count,
+and (optionally) a tracer — behind two calls: :meth:`Runtime.generate`
+for one netlist and :meth:`Runtime.map` for a batch.  ``Runtime()``
+with no arguments is the neutral element: serial, uncached, default
+config, ambient tracer — exactly a direct
+:func:`repro.atpg.engine.generate_tests` call, which is why library
+entry points can take ``runtime=None`` and behave as before.
 
 The runtime accumulates a :class:`~repro.runtime.executor.RunManifest`
 across calls, so a whole experiment (many ``map``/``generate`` calls)
-reports one hit rate and one ATPG wall-clock total.
+reports one hit rate and one ATPG wall-clock total; with tracing on,
+the manifest additionally carries per-phase breakdowns and the tracer
+collects the merged per-job spans.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from ..atpg.engine import AtpgResult
 from ..circuit.netlist import Netlist
+from ..observability import JsonlSink, Tracer, get_tracer, use_tracer
 from .cache import AtpgResultCache, default_cache_dir
 from .config import AtpgConfig
 from .executor import AtpgJob, RunManifest, run_jobs
 
 
 class Runtime:
-    """Execution policy for ATPG work: config defaults, cache, workers."""
+    """Execution policy for ATPG work: config defaults, cache, workers.
+
+    ``tracer=None`` (the default) means "whatever tracer is ambient at
+    call time" — usually the :class:`~repro.observability.NullTracer`,
+    so tracing costs nothing unless somebody opted in.  Passing a
+    :class:`~repro.observability.Tracer` pins telemetry for every call
+    made through this runtime.
+    """
 
     def __init__(
         self,
         workers: int = 1,
         cache: Optional[AtpgResultCache] = None,
         config: Optional[AtpgConfig] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = cache
         self.config = config if config is not None else AtpgConfig()
+        self.tracer = tracer
         self.manifest = RunManifest(workers=workers)
+        # Set by from_flags so report helpers know what the user asked for.
+        self.metrics_requested = False
+        self.trace_path: Optional[str] = None
 
     @classmethod
     def from_flags(
@@ -47,18 +64,47 @@ class Runtime:
         cache_dir: Optional[str] = None,
         no_cache: bool = False,
         seed: Optional[int] = None,
+        config: Optional[AtpgConfig] = None,
+        trace: Optional[str] = None,
+        metrics: bool = False,
     ) -> "Runtime":
         """Build a runtime from the shared CLI flags.
 
         Caching is on by default (``--no-cache`` turns it off); the
         directory is ``--cache-dir``, else ``$REPRO_CACHE_DIR``, else
-        ``~/.cache/repro/atpg``.
+        ``~/.cache/repro/atpg``.  ``seed`` overrides only the seed of
+        the base ``config`` (a fresh default one if not given), so
+        non-default config fields survive the flag plumbing.  ``trace``
+        (a JSONL path) and ``metrics`` both switch on a real tracer.
         """
         cache = None
         if not no_cache:
             cache = AtpgResultCache(cache_dir if cache_dir else default_cache_dir())
-        config = AtpgConfig() if seed is None else AtpgConfig(seed=seed)
-        return cls(workers=workers, cache=cache, config=config)
+        base = config if config is not None else AtpgConfig()
+        resolved = base if seed is None else base.with_seed(seed)
+        tracer = None
+        if trace or metrics:
+            tracer = Tracer()
+            if trace:
+                tracer.sinks.append(JsonlSink(trace))
+        runtime = cls(workers=workers, cache=cache, config=resolved, tracer=tracer)
+        runtime.metrics_requested = metrics
+        runtime.trace_path = trace
+        return runtime
+
+    def _active_tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    @contextmanager
+    def activate(self) -> Iterator:
+        """Make this runtime's tracer ambient for a ``with`` block.
+
+        Code inside the block — including direct ``generate_tests``
+        calls that never see the runtime — reports to the same tracer.
+        A no-op (ambient tracer unchanged) when the runtime has none.
+        """
+        with use_tracer(self._active_tracer()) as tracer:
+            yield tracer
 
     def generate(
         self,
@@ -76,7 +122,8 @@ class Runtime:
 
     def map(self, jobs: Sequence[AtpgJob]) -> List[AtpgResult]:
         """Run a batch of jobs; results align with the input order."""
-        results, manifest = run_jobs(jobs, workers=self.workers, cache=self.cache)
+        with self.activate():
+            results, manifest = run_jobs(jobs, workers=self.workers, cache=self.cache)
         self.manifest.extend(manifest)
         return results
 

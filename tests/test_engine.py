@@ -12,6 +12,7 @@ from repro.atpg import (
     run_random_phase,
 )
 from repro.circuit import extract_cones, parse_bench
+from repro.runtime import AtpgConfig, Runtime
 from repro.synth import GeneratorSpec, generate_circuit
 
 
@@ -152,13 +153,22 @@ class TestPerCone:
         )
 
     def test_per_cone_counts_cover_all_cones(self, c17):
-        counts = per_cone_pattern_counts(c17, seed=1)
+        runtime = Runtime(config=AtpgConfig(seed=1, backtrack_limit=50))
+        counts = per_cone_pattern_counts(c17, runtime=runtime)
         assert set(counts) == {"G22", "G23"}
         assert all(count > 0 for count in counts.values())
 
     def test_feedthrough_cone_counts_zero(self):
         netlist = parse_bench("INPUT(a)\nOUTPUT(a)\n", "ft")
         assert per_cone_pattern_counts(netlist) == {"a": 0}
+
+    def test_seed_kwarg_is_deprecated_but_equivalent(self, c17):
+        """The shim warns, and matches the runtime= spelling bit for bit."""
+        runtime = Runtime(config=AtpgConfig(seed=1, backtrack_limit=50))
+        via_runtime = per_cone_pattern_counts(c17, runtime=runtime)
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = per_cone_pattern_counts(c17, seed=1)
+        assert via_kwargs == via_runtime
 
 
 class TestDynamicCompaction:

@@ -1,0 +1,79 @@
+"""Tests for the public repro.io loaders (and their format sniffing)."""
+
+import pytest
+
+import repro
+from repro.circuit import dump_bench
+from repro.io import load_netlist, load_soc
+from tests.conftest import C17_BENCH
+
+
+class TestLoadNetlist:
+    def test_bench_by_default(self, tmp_path, c17):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        loaded = load_netlist(path)
+        assert loaded.name == "c17"
+        assert dump_bench(loaded) == dump_bench(c17)
+
+    def test_verilog_by_extension(self, tmp_path):
+        path = tmp_path / "tiny.v"
+        path.write_text(
+            "module tiny(a, b, y);\n"
+            "  input a, b;\n"
+            "  output y;\n"
+            "  and g1(y, a, b);\n"
+            "endmodule\n"
+        )
+        loaded = load_netlist(path)
+        assert set(loaded.inputs) == {"a", "b"}
+        assert loaded.outputs == ["y"]
+
+    def test_accepts_str_and_path(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        assert dump_bench(load_netlist(str(path))) == dump_bench(load_netlist(path))
+
+
+class TestLoadSoc:
+    def test_native_itc02_sniffed_by_header(self, tmp_path):
+        path = tmp_path / "native.txt"
+        path.write_text(
+            "SocName mini\n"
+            "TotalModules 2\n"
+            "Options Version 2.1\n"
+            "Module 0 Level 0 Inputs 4 Outputs 4 Bidirs 0 "
+            "ScanChains 0 : TotalPatterns 0\n"
+            "Module 1 Level 1 Inputs 2 Outputs 2 Bidirs 0 "
+            "ScanChains 1 : 8 TotalPatterns 10\n"
+        )
+        soc = load_soc(path)
+        assert soc.name == "mini"
+
+    def test_soc_dialect_fallback(self, tmp_path):
+        path = tmp_path / "mini.soc"
+        path.write_text(
+            "Soc mini2\n"
+            "Core a\n"
+            "    Inputs 2\n"
+            "    Outputs 2\n"
+            "    ScanCells 4\n"
+            "    Patterns 10\n"
+            "End\n"
+        )
+        soc = load_soc(path)
+        assert soc.name == "mini2"
+        assert [core.name for core in soc.cores] == ["a"]
+
+
+class TestTopLevelExports:
+    def test_loaders_reexported(self):
+        assert repro.load_netlist is load_netlist
+        assert repro.load_soc is load_soc
+
+    def test_runtime_surface_reexported(self):
+        from repro.runtime import RunManifest
+
+        assert repro.RunManifest is RunManifest
+        assert "RunManifest" in repro.__all__
+        assert "load_soc" in repro.__all__

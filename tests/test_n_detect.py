@@ -10,6 +10,7 @@ from repro.atpg import (
     generate_tests,
 )
 from repro.circuit import parse_bench
+from repro.runtime import AtpgConfig
 from repro.synth import GeneratorSpec, generate_circuit
 
 
@@ -29,20 +30,20 @@ def detections_per_fault(netlist, test_set):
 
 class TestNDetect:
     def test_quota_met_on_c17(self, c17):
-        result = generate_n_detect_tests(c17, n_detect=3, seed=1)
+        result = generate_n_detect_tests(c17, n_detect=3, config=AtpgConfig(seed=1))
         counts = detections_per_fault(c17, result.test_set)
         assert min(counts.values()) >= 3
         assert result.fault_coverage == 1.0
 
     def test_n1_close_to_plain_engine(self, c17):
         plain = generate_tests(c17, seed=1)
-        n1 = generate_n_detect_tests(c17, n_detect=1, seed=1)
+        n1 = generate_n_detect_tests(c17, n_detect=1, config=AtpgConfig(seed=1))
         assert n1.pattern_count >= plain.pattern_count
         assert n1.fault_coverage == plain.fault_coverage
 
     def test_pattern_count_grows_with_n(self, c17):
         counts = [
-            generate_n_detect_tests(c17, n_detect=n, seed=1).pattern_count
+            generate_n_detect_tests(c17, n_detect=n, config=AtpgConfig(seed=1)).pattern_count
             for n in (1, 2, 4)
         ]
         assert counts[0] < counts[1] < counts[2]
@@ -57,7 +58,7 @@ class TestNDetect:
             "n = NOT(a)\nt = OR(a, n)\nz = AND(t, b)\n",
             "redundant",
         )
-        result = generate_n_detect_tests(netlist, n_detect=2, seed=0)
+        result = generate_n_detect_tests(netlist, n_detect=2, config=AtpgConfig(seed=0))
         assert result.untestable
         assert result.testable_coverage == 1.0
 
@@ -66,19 +67,30 @@ class TestNDetect:
             GeneratorSpec(name="nd", inputs=8, outputs=4, flip_flops=6,
                           target_gates=70, seed=41)
         )
-        result = generate_n_detect_tests(netlist, n_detect=2, seed=41)
+        result = generate_n_detect_tests(netlist, n_detect=2, config=AtpgConfig(seed=41))
         counts = detections_per_fault(netlist, result.test_set)
         testable = {f for f in counts if f not in set(result.untestable)}
         assert all(counts[f] >= 2 for f in testable)
 
     def test_max_passes_bounds_work(self, c17):
-        result = generate_n_detect_tests(c17, n_detect=10, seed=1, max_passes=2)
+        result = generate_n_detect_tests(c17, n_detect=10, max_passes=2, config=AtpgConfig(seed=1))
         # Capped passes may leave quotas unmet, but never over-report.
         assert result.detected_count <= result.fault_count
 
     def test_deterministic(self, c17):
-        a = generate_n_detect_tests(c17, n_detect=2, seed=9)
-        b = generate_n_detect_tests(c17, n_detect=2, seed=9)
+        a = generate_n_detect_tests(c17, n_detect=2, config=AtpgConfig(seed=9))
+        b = generate_n_detect_tests(c17, n_detect=2, config=AtpgConfig(seed=9))
         assert [p.assignments for p in a.test_set] == (
             [p.assignments for p in b.test_set]
+        )
+
+    def test_seed_kwarg_is_deprecated_but_equivalent(self, c17):
+        """The shim warns, and matches the config= spelling bit for bit."""
+        via_config = generate_n_detect_tests(
+            c17, n_detect=2, config=AtpgConfig(seed=9)
+        )
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = generate_n_detect_tests(c17, n_detect=2, seed=9)
+        assert [p.assignments for p in via_kwargs.test_set] == (
+            [p.assignments for p in via_config.test_set]
         )
