@@ -37,6 +37,9 @@ and every substrate its evaluation depends on:
 ``repro.io``
     The public design-file loaders (``load_soc``, ``load_netlist``)
     with their format sniffing.
+``repro.errors``
+    The typed exception hierarchy (everything derives from
+    ``ReproError``; parser errors stay ``ValueError``-compatible).
 
 :class:`Runtime` is the single public execution entry point: build one
 (or use ``Runtime.from_flags``) and pass it as the uniform ``runtime=``
@@ -54,6 +57,18 @@ from .core import (
     tdv_monolithic_optimistic,
     tdv_penalty,
 )
+from .errors import (
+    AbortedError,
+    CacheCorruptionError,
+    ConfigError,
+    JobFailure,
+    JobRetriesExhaustedError,
+    JobTimeoutError,
+    NetlistParseError,
+    ReproError,
+    SocFormatError,
+    UnknownBenchmarkError,
+)
 from .soc import Core, Soc, SocBuilder, flatten, isocost
 
 __version__ = "1.0.0"
@@ -62,7 +77,16 @@ __version__ = "1.0.0"
 def __getattr__(name):
     # The runtime facade re-exported lazily: it drags in the ATPG stack,
     # which plain TDV-model users never need to import.
-    if name in ("AtpgConfig", "Runtime", "AtpgResultCache", "RunManifest"):
+    if name in (
+        "AtpgConfig",
+        "Runtime",
+        "AtpgResultCache",
+        "RunManifest",
+        "ExecutionPolicy",
+        "ChaosConfig",
+        "RunJournal",
+        "JobOutcome",
+    ):
         from . import runtime
 
         return getattr(runtime, name)
@@ -74,10 +98,24 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AbortedError",
     "AtpgConfig",
     "AtpgResultCache",
+    "CacheCorruptionError",
+    "ChaosConfig",
+    "ConfigError",
+    "ExecutionPolicy",
+    "JobFailure",
+    "JobOutcome",
+    "JobRetriesExhaustedError",
+    "JobTimeoutError",
+    "NetlistParseError",
+    "ReproError",
+    "RunJournal",
     "RunManifest",
     "Runtime",
+    "SocFormatError",
+    "UnknownBenchmarkError",
     "Core",
     "Soc",
     "SocBuilder",

@@ -17,6 +17,7 @@ import warnings
 from ..circuit.cones import Cone, extract_cones
 from ..circuit.netlist import Netlist
 from ..observability import get_tracer, register_counter
+from ..runtime.abort import get_abort
 from ..runtime.config import AtpgConfig
 from .compaction import static_compact
 from .compiled import CompiledCircuit
@@ -219,8 +220,10 @@ def generate_tests(
         aborted: List[Fault] = []
         queue: Deque[Fault] = deque(remaining)
         block = _PatternBlock(simulator)
+        abort = get_abort()
         with tracer.span("podem"):
             while queue:
+                abort.check()
                 fault = queue.popleft()
                 # Lazy fault dropping: a fault detected by any pattern
                 # since the last flush is discarded here, exactly where
@@ -350,7 +353,9 @@ def _verify_and_prune(
     patterns = test_set.patterns
     keep_flags = [False] * len(patterns)
     reversed_index = list(range(len(patterns) - 1, -1, -1))
+    abort = get_abort()
     for start in range(0, len(patterns), batch_size):
+        abort.check()
         chunk = reversed_index[start:start + batch_size]
         # Patterns are fully specified here, so their assignment dicts
         # are already the per-input trit maps the packer wants.
@@ -426,7 +431,9 @@ def generate_n_detect_tests(
     aborted: List[Fault] = []
     passes = 0
     limit = max_passes if max_passes is not None else n_detect + 2
+    abort = get_abort()
     while passes < limit and remaining_quota:
+        abort.check()
         targets = list(remaining_quota)
         result = generate_tests(
             netlist,

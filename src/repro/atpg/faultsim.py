@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..observability import register_counter
+from ..runtime.abort import get_abort
 from .compiled import OP_AND, OP_NAND, OP_NOR, OP_NOT, OP_XNOR, CompiledCircuit
 from .faults import Fault
 from .logicsim import (
@@ -106,7 +107,13 @@ class FaultSimulator:
     def good_values(
         self, patterns: Sequence[Dict[int, Optional[int]]]
     ) -> Tuple[RailBatch, int]:
-        """Simulate the fault-free machine over a pattern batch."""
+        """Simulate the fault-free machine over a pattern batch.
+
+        Once per batch (the granularity is coarse enough to be free),
+        the ambient abort token gets a cooperative deadline check — this
+        is the kernel's only concession to the runtime layer above it.
+        """
+        get_abort().check()
         ones, zeros = pack_patterns_flat(self.circuit, patterns)
         simulate_flat(self.circuit, ones, zeros, len(patterns))
         return RailBatch(ones, zeros, len(patterns)), len(patterns)

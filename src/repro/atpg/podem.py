@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuit.gates import GateType
 from ..observability import get_tracer, register_counter
+from ..runtime.abort import get_abort
 from .compiled import (
     OP_AND,
     OP_NAND,
@@ -169,8 +170,10 @@ class Podem:
         stack: List[Tuple[int, bool]] = []  # (net_id, already flipped)
         backtracks = 0
         decisions = 0
+        abort = get_abort()
 
         while True:
+            abort.check()
             state = self._imply(assignments, fault)
             if state.detected:
                 return PodemResult(
@@ -191,6 +194,7 @@ class Podem:
                     continue
                 # No X input reachable for the objective: treat as conflict.
             backtracks += 1
+            abort.spend_backtracks(1)
             if backtracks > self.backtrack_limit:
                 return PodemResult(PodemOutcome.ABORTED, None, backtracks, decisions)
             while stack:

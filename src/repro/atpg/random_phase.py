@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..observability import get_tracer, register_counter
+from ..runtime.abort import get_abort
 from .compiled import CompiledCircuit
 from .faults import Fault
 from .faultsim import FaultSimulator
@@ -75,7 +76,9 @@ def _run_batches(
     simulator = FaultSimulator(circuit)
     rng = random.Random(seed)
     result = RandomPhaseResult(remaining_faults=list(faults))
+    abort = get_abort()
     while result.remaining_faults and result.batches < max_batches:
+        abort.check()
         batch = [random_pattern(circuit.input_ids, rng) for _ in range(batch_size)]
         # Random patterns are fully specified over the input ids, so
         # their assignment dicts are already the packer's trit maps.

@@ -18,11 +18,12 @@ import re
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
+from ..errors import NetlistParseError
 from .gates import gate_type_from_name
 from .netlist import Netlist, NetlistError
 
 
-class BenchFormatError(ValueError):
+class BenchFormatError(NetlistParseError):
     """Raised on malformed ``.bench`` input."""
 
     def __init__(self, message: str, line_number: Optional[int] = None):

@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..errors import NetlistParseError
 from .gates import GateType, Trit, evaluate_gate
 
 
-class NetlistError(ValueError):
+class NetlistError(NetlistParseError):
     """Raised when a netlist is structurally invalid."""
 
 

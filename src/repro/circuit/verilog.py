@@ -23,13 +23,14 @@ import re
 from pathlib import Path
 from typing import List, Optional, Union
 
+from ..errors import NetlistParseError
 from .gates import gate_type_from_name
 from .netlist import Netlist, NetlistError
 
 _PRIMITIVES = {"and", "nand", "or", "nor", "xor", "xnor", "not", "buf"}
 
 
-class VerilogFormatError(ValueError):
+class VerilogFormatError(NetlistParseError):
     """Raised on unsupported or malformed structural Verilog."""
 
 

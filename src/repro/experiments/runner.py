@@ -19,7 +19,10 @@ shared ``--workers`` / ``--cache-dir`` / ``--no-cache`` flags control
 parallel fan-out and the content-addressed result cache, and a run
 manifest (job count, cache hit rate, ATPG wall-clock) is printed to
 stderr so table output on stdout stays byte-identical across serial,
-parallel and warm-cache runs.
+parallel and warm-cache runs.  The resilience flags (``--deadline``,
+``--retries``, ``--on-error``) harden long campaigns, and ``--run-dir``
+/ ``--resume`` journal completed jobs so a killed run picks up where
+it stopped — with byte-identical output.
 
 ``--seed`` is threaded into every experiment uniformly.  Left unset,
 each experiment keeps its historical default seed (it used to be
@@ -120,6 +123,31 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         "--metrics", action="store_true",
         help="print the telemetry summary table to stderr after the run",
     )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock deadline; a job past it aborts "
+             "cooperatively with a timeout (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-attempt failed jobs up to N extra times (implies "
+             "--on-error retry; timeouts retry under a perturbed seed)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="raise",
+        help="what a failed job does to the run: raise (default), skip "
+             "(record and continue), or retry",
+    )
+    parser.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="journal every completed job to DIR (jobs/ + manifest.json) "
+             "so a killed run can be resumed",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the run journaled in --run-dir: journaled jobs are "
+             "skipped, output is bit-identical to an uninterrupted run",
+    )
 
 
 def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> Runtime:
@@ -131,6 +159,11 @@ def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> R
         seed=seed,
         trace=args.trace,
         metrics=args.metrics,
+        deadline=args.deadline,
+        retries=args.retries,
+        on_error=args.on_error,
+        run_dir=args.run_dir,
+        resume=args.resume,
     )
 
 

@@ -20,6 +20,12 @@ Format sniffing, documented:
     (:func:`repro.circuit.load_verilog_file`); anything else — by
     convention ``.bench`` — as ISCAS BENCH format
     (:func:`repro.circuit.load_bench_file`).
+
+Malformed input raises the typed errors of :mod:`repro.errors`:
+netlist problems are :class:`~repro.errors.NetlistParseError`
+subclasses, SOC-description problems are
+:class:`~repro.errors.SocFormatError` subclasses — all of them still
+``ValueError``, so pre-existing handlers keep working.
 """
 
 from __future__ import annotations

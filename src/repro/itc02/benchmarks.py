@@ -13,6 +13,7 @@ from importlib import resources
 from pathlib import Path
 from typing import Dict, List
 
+from ..errors import UnknownBenchmarkError
 from ..soc.model import Soc
 from .format import SocFile, parse_soc
 
@@ -36,7 +37,7 @@ def benchmark_names() -> List[str]:
 def load_file(name: str) -> SocFile:
     """Load one benchmark's full parsed ``.soc`` file."""
     if name not in BENCHMARK_NAMES:
-        raise KeyError(
+        raise UnknownBenchmarkError(
             f"unknown ITC'02 benchmark {name!r}; choose from {BENCHMARK_NAMES}"
         )
     path = data_dir() / f"{name}.soc"

@@ -31,11 +31,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.analysis import normalized_stdev
 from ..core.tdv import summarize
+from ..errors import ReproError
 from ..soc.model import Core, Soc
 from .paper_tables import Table4Row
 
 
-class CalibrationError(ValueError):
+class CalibrationError(ReproError, ValueError):
     """Raised when no SOC close to the published aggregates can be built."""
 
 

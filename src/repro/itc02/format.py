@@ -34,17 +34,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..errors import SocFormatError
 from ..soc.model import Core, Soc
 
-
-class SocFormatError(ValueError):
-    """Raised on malformed ``.soc`` input; carries the offending line number."""
-
-    def __init__(self, message: str, line_number: Optional[int] = None):
-        if line_number is not None:
-            message = f"line {line_number}: {message}"
-        super().__init__(message)
-        self.line_number = line_number
+# Re-exported for back-compat: the class moved to repro.errors so every
+# layer can catch it without importing the parser.
+__all__ = ["SocFile", "SocFormatError", "parse_soc"]
 
 
 @dataclass

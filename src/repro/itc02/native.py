@@ -37,10 +37,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Union
 
+from ..errors import SocFormatError
 from ..soc.model import Core, Soc
 
 
-class NativeFormatError(ValueError):
+class NativeFormatError(SocFormatError):
     """Raised when the file cannot be interpreted as ITC'02 data."""
 
 

@@ -132,6 +132,10 @@ class _SpanContext:
         tracer = self._tracer
         record = self._record
         record.duration = (tracer._clock() - tracer.epoch) - record.start
+        if exc and exc[0] is not None:
+            # A span that unwound on an exception (timeout, abort...)
+            # keeps the evidence; clean exits add no attribute at all.
+            record.attrs["status"] = exc[0].__name__
         tracer._depth -= 1
         return False
 

@@ -10,9 +10,22 @@ The architectural seam between "what to run" (netlists + configs) and
     JSON on disk, ``REPRO_CACHE_DIR`` override.
 ``repro.runtime.executor``
     :class:`AtpgJob` / :func:`run_jobs` — process-parallel fan-out with
-    deterministic result order and a per-job :class:`RunManifest`.
+    deterministic result order, retry-round failure recovery, and a
+    per-job :class:`RunManifest` of typed :class:`JobOutcome` records.
+``repro.runtime.policy``
+    :class:`ExecutionPolicy` — deadlines, backtrack budgets, retry and
+    backoff knobs; execution policy, never run identity.
+``repro.runtime.abort``
+    :class:`AbortToken` — the cooperative deadline/budget token the
+    engine loops check.
+``repro.runtime.chaos``
+    :class:`ChaosConfig` — deterministic fault injection
+    (``$REPRO_CHAOS``) for testing the recovery paths.
+``repro.runtime.journal``
+    :class:`RunJournal` — per-job durable results + canonical manifest;
+    what ``repro experiments --resume`` reads.
 ``repro.runtime.session``
-    :class:`Runtime` — the facade bundling all three, threaded through
+    :class:`Runtime` — the facade bundling all of it, threaded through
     the experiments and both CLIs.
 
 Only :mod:`~repro.runtime.config` is imported eagerly: it has no
@@ -26,30 +39,44 @@ from __future__ import annotations
 from .config import AtpgConfig
 
 __all__ = [
+    "AbortToken",
     "AtpgConfig",
     "AtpgJob",
     "AtpgResultCache",
     "CacheStats",
+    "ChaosConfig",
+    "ExecutionPolicy",
+    "JobOutcome",
     "JobRecord",
+    "RunJournal",
     "RunManifest",
     "Runtime",
     "default_cache_dir",
     "ensure_runtime",
+    "get_abort",
     "netlist_fingerprint",
     "result_key",
     "run_jobs",
+    "use_abort",
 ]
 
 _LAZY = {
+    "AbortToken": "abort",
+    "get_abort": "abort",
+    "use_abort": "abort",
     "AtpgResultCache": "cache",
     "CacheStats": "cache",
     "default_cache_dir": "cache",
     "netlist_fingerprint": "cache",
     "result_key": "cache",
+    "ChaosConfig": "chaos",
     "AtpgJob": "executor",
+    "JobOutcome": "executor",
     "JobRecord": "executor",
     "RunManifest": "executor",
     "run_jobs": "executor",
+    "RunJournal": "journal",
+    "ExecutionPolicy": "policy",
     "Runtime": "session",
     "ensure_runtime": "session",
 }

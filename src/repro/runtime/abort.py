@@ -1,0 +1,118 @@
+"""Cooperative abort for long ATPG runs: deadlines and search budgets.
+
+A hung PODEM search cannot be interrupted from outside without killing
+its whole worker process, so the engine aborts *cooperatively*: the
+executor installs an :class:`AbortToken` for the duration of a job, and
+the engine loops (fault queue, PODEM decisions, fault-simulation
+batches) call :meth:`AbortToken.check` at their natural iteration
+boundaries.  An expired wall-clock deadline raises
+:class:`~repro.errors.JobTimeoutError`; an exhausted backtrack budget
+raises :class:`~repro.errors.AbortedError`.  Both unwind the run
+cleanly — partial engine state is simply dropped.
+
+The token is ambient process-global state exactly like the tracer
+(:mod:`repro.observability.tracer`), and for the same reason: the
+kernels sit many layers below the runtime and must stay
+signature-stable.  The default :data:`NULL_ABORT` makes every check a
+no-op method call, so un-deadlined runs pay nothing measurable.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from ..errors import AbortedError, JobTimeoutError
+
+AbortLike = Union["AbortToken", "NullAbort"]
+
+
+class NullAbort:
+    """The do-nothing token installed by default: checks never trip."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def check(self) -> None:
+        pass
+
+    def spend_backtracks(self, count: int) -> None:
+        pass
+
+
+NULL_ABORT = NullAbort()
+
+
+class AbortToken:
+    """One job's abort conditions: a deadline and/or a backtrack budget.
+
+    ``deadline_seconds`` counts from token construction on the
+    monotonic clock; ``backtrack_budget`` caps the *total* PODEM
+    backtracks across the whole run (the per-fault ``backtrack_limit``
+    of :class:`~repro.runtime.config.AtpgConfig` still applies
+    underneath — the budget bounds pathological runs where many faults
+    each burn their full limit).
+    """
+
+    __slots__ = ("deadline_at", "backtrack_budget", "backtracks_spent", "_clock")
+
+    enabled = True
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        backtrack_budget: Optional[int] = None,
+    ):
+        self._clock = time.perf_counter
+        self.deadline_at = (
+            self._clock() + deadline_seconds if deadline_seconds is not None else None
+        )
+        self.backtrack_budget = backtrack_budget
+        self.backtracks_spent = 0
+
+    def check(self) -> None:
+        """Raise :class:`JobTimeoutError` if the deadline has passed."""
+        if self.deadline_at is not None and self._clock() > self.deadline_at:
+            raise JobTimeoutError("job exceeded its wall-clock deadline")
+
+    def spend_backtracks(self, count: int) -> None:
+        """Charge PODEM backtracks against the budget; raise when spent."""
+        self.backtracks_spent += count
+        if (
+            self.backtrack_budget is not None
+            and self.backtracks_spent > self.backtrack_budget
+        ):
+            raise AbortedError(
+                f"job exceeded its backtrack budget "
+                f"({self.backtracks_spent} > {self.backtrack_budget})"
+            )
+
+
+# -- the process-global active token ----------------------------------------
+
+_ACTIVE: AbortLike = NULL_ABORT
+
+
+def get_abort() -> AbortLike:
+    """The active abort token (the shared :data:`NULL_ABORT` by default)."""
+    return _ACTIVE
+
+
+def set_abort(token: Optional[AbortLike]) -> AbortLike:
+    """Install ``token`` (None restores the null token); returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = token if token is not None else NULL_ABORT
+    return previous
+
+
+@contextmanager
+def use_abort(token: Optional[AbortLike]) -> Iterator[AbortLike]:
+    """Scope ``token`` as the active abort token for a ``with`` block."""
+    previous = set_abort(token)
+    try:
+        yield get_abort()
+    finally:
+        set_abort(previous)

@@ -13,7 +13,10 @@ disk (via the :mod:`repro.core.serialization` converters), one file per
 key, so warm reruns of an experiment skip ATPG entirely.  The directory
 defaults to ``~/.cache/repro/atpg`` and can be overridden with the
 ``REPRO_CACHE_DIR`` environment variable or per instance.  Corrupt or
-truncated files are treated as misses and removed.
+truncated files — including files whose recorded key disagrees with
+their filename — are treated as misses: the offending file is moved
+aside into a ``quarantine/`` subdirectory (for post-mortems) and the
+result is recomputed, so one bad byte never aborts a campaign.
 """
 
 from __future__ import annotations
@@ -33,7 +36,9 @@ from ..core.serialization import (
     atpg_result_from_dict,
     atpg_result_to_dict,
 )
+from ..errors import CacheCorruptionError, ConfigError
 from ..observability import get_tracer, register_counter
+from .chaos import maybe_corrupt_store
 from .config import AtpgConfig
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -41,6 +46,33 @@ CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 CACHE_HITS = register_counter("cache.hits", "ATPG result cache hits")
 CACHE_MISSES = register_counter("cache.misses", "ATPG result cache misses")
 CACHE_STORES = register_counter("cache.stores", "ATPG results written to disk")
+CACHE_QUARANTINED = register_counter(
+    "cache.quarantined", "corrupt cache entries moved to quarantine"
+)
+
+QUARANTINE_DIR = "quarantine"
+
+
+def quarantine_file(path: Path) -> Optional[Path]:
+    """Move a corrupt store file into a sibling ``quarantine/`` directory.
+
+    Keeps the evidence for post-mortems while freeing the key for a
+    clean recompute.  Falls back to deletion (and then to ignoring the
+    file) when the filesystem refuses the move; returns the quarantined
+    path, or None when the file is simply gone.
+    """
+    target_dir = path.parent / QUARANTINE_DIR
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        path.replace(target)
+        return target
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
 
 def default_cache_dir() -> Path:
@@ -92,6 +124,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -118,7 +151,7 @@ class AtpgResultCache:
         if self.directory is not None:
             self.directory = Path(self.directory)
         if self.memory_slots < 1:
-            raise ValueError(f"memory_slots must be >= 1, got {self.memory_slots}")
+            raise ConfigError(f"memory_slots must be >= 1, got {self.memory_slots}")
         self._memory: "OrderedDict[str, AtpgResult]" = OrderedDict()
 
     # -- lookup ---------------------------------------------------------------
@@ -160,6 +193,7 @@ class AtpgResultCache:
             tmp.replace(path)  # atomic: a reader never sees a half-written file
             self.stats.stores += 1
             get_tracer().count(CACHE_STORES)
+            maybe_corrupt_store(path)  # chaos hook; no-op unless injected
         return key
 
     def clear(self) -> None:
@@ -194,15 +228,18 @@ class AtpgResultCache:
         try:
             payload = json.loads(path.read_text())
             if payload.get("key") != key:
-                raise ValueError("key mismatch")
+                raise CacheCorruptionError(
+                    f"cache entry {path.name} claims key "
+                    f"{payload.get('key')!r}, expected {key!r}"
+                )
             return atpg_result_from_dict(payload["result"])
         except FileNotFoundError:
             return None
         except (ValueError, KeyError, TypeError, OSError):
-            # Corrupt/truncated entry: recover by dropping it.
+            # Corrupt/truncated/mis-keyed entry: quarantine it and report
+            # a miss so the result is recomputed — never abort the run.
             self.stats.corrupt += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.stats.quarantined += 1
+            get_tracer().count(CACHE_QUARANTINED)
+            quarantine_file(path)
             return None

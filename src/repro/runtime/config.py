@@ -9,9 +9,10 @@ which is what makes results cacheable (:mod:`repro.runtime.cache`) and
 safely distributable across worker processes
 (:mod:`repro.runtime.executor`).
 
-This module deliberately imports nothing from the rest of the package —
-it sits below :mod:`repro.atpg` so the engine itself can accept a
-config without a layering cycle.
+This module deliberately imports nothing from the rest of the package
+except :mod:`repro.errors` (itself dependency-free) — it sits below
+:mod:`repro.atpg` so the engine itself can accept a config without a
+layering cycle.
 """
 
 from __future__ import annotations
@@ -20,6 +21,8 @@ import hashlib
 import json
 from dataclasses import dataclass, replace
 from typing import Any, Dict
+
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -38,11 +41,13 @@ class AtpgConfig:
 
     def __post_init__(self) -> None:
         if self.backtrack_limit < 1:
-            raise ValueError(f"backtrack_limit must be >= 1, got {self.backtrack_limit}")
+            raise ConfigError(
+                f"backtrack_limit must be >= 1, got {self.backtrack_limit}"
+            )
         if self.random_batches < 0:
-            raise ValueError(f"random_batches must be >= 0, got {self.random_batches}")
+            raise ConfigError(f"random_batches must be >= 0, got {self.random_batches}")
         if self.dynamic_compaction < 0:
-            raise ValueError(
+            raise ConfigError(
                 f"dynamic_compaction must be >= 0, got {self.dynamic_compaction}"
             )
 

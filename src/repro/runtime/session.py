@@ -23,10 +23,14 @@ from typing import Iterator, List, Optional, Sequence
 
 from ..atpg.engine import AtpgResult
 from ..circuit.netlist import Netlist
+from ..errors import ConfigError
 from ..observability import JsonlSink, Tracer, get_tracer, use_tracer
 from .cache import AtpgResultCache, default_cache_dir
+from .chaos import ChaosConfig
 from .config import AtpgConfig
 from .executor import AtpgJob, RunManifest, run_jobs
+from .journal import RunJournal
+from .policy import ExecutionPolicy, validate_on_error
 
 
 class Runtime:
@@ -37,6 +41,11 @@ class Runtime:
     so tracing costs nothing unless somebody opted in.  Passing a
     :class:`~repro.observability.Tracer` pins telemetry for every call
     made through this runtime.
+
+    ``policy`` (an :class:`~repro.runtime.policy.ExecutionPolicy`) and
+    ``on_error`` set the failure handling for every batch run through
+    this runtime; ``journal`` (a :class:`~repro.runtime.journal.RunJournal`)
+    makes each completed job durable and enables ``--resume``.
     """
 
     def __init__(
@@ -45,13 +54,20 @@ class Runtime:
         cache: Optional[AtpgResultCache] = None,
         config: Optional[AtpgConfig] = None,
         tracer: Optional[Tracer] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        on_error: str = "raise",
+        journal: Optional[RunJournal] = None,
     ):
         if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        validate_on_error(on_error)
         self.workers = workers
         self.cache = cache
         self.config = config if config is not None else AtpgConfig()
         self.tracer = tracer
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.on_error = on_error
+        self.journal = journal
         self.manifest = RunManifest(workers=workers)
         # Set by from_flags so report helpers know what the user asked for.
         self.metrics_requested = False
@@ -67,6 +83,11 @@ class Runtime:
         config: Optional[AtpgConfig] = None,
         trace: Optional[str] = None,
         metrics: bool = False,
+        deadline: Optional[float] = None,
+        retries: Optional[int] = None,
+        on_error: str = "raise",
+        run_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> "Runtime":
         """Build a runtime from the shared CLI flags.
 
@@ -76,6 +97,16 @@ class Runtime:
         the base ``config`` (a fresh default one if not given), so
         non-default config fields survive the flag plumbing.  ``trace``
         (a JSONL path) and ``metrics`` both switch on a real tracer.
+
+        Resilience flags: ``deadline`` (per-job seconds, ``--deadline``)
+        and ``retries`` (extra attempts per job, ``--retries``; implies
+        ``on_error="retry"`` unless a mode was set explicitly) populate
+        the :class:`ExecutionPolicy`; fault injection comes from the
+        ``$REPRO_CHAOS`` environment variable — execution policy, never
+        run identity, so cache keys are untouched.  ``run_dir``
+        (``--run-dir``) journals every completed job there; ``resume``
+        (``--resume``) additionally treats journaled jobs as instant
+        hits.
         """
         cache = None
         if not no_cache:
@@ -87,7 +118,27 @@ class Runtime:
             tracer = Tracer()
             if trace:
                 tracer.sinks.append(JsonlSink(trace))
-        runtime = cls(workers=workers, cache=cache, config=resolved, tracer=tracer)
+        if retries is not None and on_error == "raise":
+            on_error = "retry"
+        policy = ExecutionPolicy(
+            deadline_seconds=deadline,
+            max_attempts=(retries + 1) if retries is not None else 3,
+            chaos=ChaosConfig.from_env(),
+        )
+        journal = None
+        if run_dir or resume:
+            if not run_dir:
+                raise ConfigError("--resume needs a run directory (--run-dir)")
+            journal = RunJournal(run_dir, resume=resume)
+        runtime = cls(
+            workers=workers,
+            cache=cache,
+            config=resolved,
+            tracer=tracer,
+            policy=policy,
+            on_error=on_error,
+            journal=journal,
+        )
         runtime.metrics_requested = metrics
         runtime.trace_path = trace
         return runtime
@@ -121,9 +172,21 @@ class Runtime:
         return self.map([job])[0]
 
     def map(self, jobs: Sequence[AtpgJob]) -> List[AtpgResult]:
-        """Run a batch of jobs; results align with the input order."""
+        """Run a batch of jobs; results align with the input order.
+
+        Under ``on_error="skip"`` a failed job's slot holds ``None``;
+        under the other modes every returned result is real (failures
+        raise instead).
+        """
         with self.activate():
-            results, manifest = run_jobs(jobs, workers=self.workers, cache=self.cache)
+            results, manifest = run_jobs(
+                jobs,
+                workers=self.workers,
+                cache=self.cache,
+                policy=self.policy,
+                on_error=self.on_error,
+                journal=self.journal,
+            )
         self.manifest.extend(manifest)
         return results
 
