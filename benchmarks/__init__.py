@@ -1,0 +1,8 @@
+"""Paper-reproduction benchmark suite (pytest-benchmark based).
+
+Importable as a package (``import benchmarks.bench_atpg_engine``),
+runnable under pytest (``pytest benchmarks/ --benchmark-only``), and
+each ``bench_*`` module also runs as a plain script
+(``python benchmarks/bench_atpg_engine.py``), which simply invokes
+pytest on itself.  Shared helpers live in :mod:`benchmarks.common`.
+"""

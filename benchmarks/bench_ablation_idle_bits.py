@@ -15,7 +15,10 @@ from repro.experiments.ablation import (
     wrapper_overhead_ablation,
 )
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_idle_bits(benchmark):
@@ -85,3 +88,9 @@ def test_bench_crossover_spread(benchmark):
     spread = run_once(benchmark, crossover_spread)
     print(f"\nBreak-even pattern spread for the crossover family: {spread:.3f}")
     assert 0.0 < spread < 3.0
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

@@ -13,7 +13,10 @@ import pytest
 from repro.atpg import CompiledCircuit, collapse_faults, fault_coverage, generate_tests
 from repro.synth import GeneratorSpec, generate_circuit
 
-from conftest import record_bench, run_timed
+try:
+    from .common import record_bench, run_timed
+except ImportError:  # running as a plain script, not a package
+    from common import record_bench, run_timed
 
 SIZES = [
     ("small", 120, 12, 6, 10),
@@ -88,3 +91,9 @@ def test_bench_monolithic_soc1_atpg(benchmark):
         "faults_simulated_per_second": round(faults_per_s, 1),
     })
     assert result.fault_coverage > 0.98
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

@@ -14,7 +14,10 @@ from repro.experiments.extensions import (
     test_point_study,
 )
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_bist_external_data(benchmark):
@@ -83,3 +86,9 @@ def test_bench_fill_strategies(benchmark):
     )
     assert report["random"]["run_length_ratio"] < 1.0
     assert report["zero"]["run_length_ratio"] > report["random"]["run_length_ratio"]
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

@@ -9,7 +9,10 @@ import pytest
 
 from repro.experiments.cone_example import compaction_demo, cone_example
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_cone_example_arithmetic(benchmark):
@@ -38,3 +41,9 @@ def test_bench_cone_compaction_regimes(benchmark):
     # Figure 1(b): conflicts make the merged count exceed the cone max.
     assert overlapping.merged_pattern_count > overlapping.max_cone_patterns
     assert disjoint.conflict_excess <= overlapping.conflict_excess
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

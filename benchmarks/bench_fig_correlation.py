@@ -8,7 +8,10 @@ on the ten benchmark SOCs and on a controlled synthetic family.
 
 from repro.experiments.correlation import benchmark_series, render, synthetic_series
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_correlation_on_benchmarks(benchmark):
@@ -34,3 +37,9 @@ def test_bench_correlation_synthetic_family(benchmark):
               f"reduction={reduction:+6.1f}%")
     # Monotone within the family: more variation, more reduction.
     assert reductions == sorted(reductions)
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

@@ -20,7 +20,10 @@ import pytest
 from repro.experiments.iscas_socs import run_soc1
 from repro.runtime import AtpgResultCache, Runtime
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 SEED = 3
 
@@ -74,3 +77,9 @@ def test_bench_uncached_parallel_speedup_processes_spawn(benchmark):
     print(f"\nuncached parallel: {runtime.summary()}")
     assert runtime.manifest.job_count == 5  # 3 profiles + glue + monolithic
     assert experiment.mono_result.testable_coverage > 0.99
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

@@ -8,7 +8,10 @@ qualitative conclusions hold for every one.
 
 from repro.experiments.iscas_socs import run_soc1
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 SEEDS = (3, 11, 29)
 
@@ -31,3 +34,9 @@ def test_bench_soc1_seed_robustness(benchmark):
         assert experiment.pessimistic_reduction_ratio > 1.0
         assert (experiment.decomposition.penalty
                 < experiment.decomposition.benefit_identity)
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

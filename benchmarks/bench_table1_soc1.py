@@ -13,7 +13,10 @@ flow on profile-matched synthetic netlists — see DESIGN.md):
 
 from repro.experiments.iscas_socs import run_soc1
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_table1(benchmark):
@@ -41,3 +44,9 @@ def test_bench_table1(benchmark):
     for result in experiment.core_results.values():
         assert result.testable_coverage > 0.99
     assert experiment.mono_result.testable_coverage > 0.99
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

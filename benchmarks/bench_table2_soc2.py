@@ -6,7 +6,10 @@ reduction over actual monolithic, 1.06x over optimistic monolithic.
 
 from repro.experiments.iscas_socs import run_soc2
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_table2(benchmark):
@@ -34,3 +37,9 @@ def test_bench_table2(benchmark):
     assert soc["Core1"].patterns == min(
         soc[name].patterns for name in ("Core1", "Core2", "Core3", "Core4")
     )  # s953
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

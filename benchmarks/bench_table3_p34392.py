@@ -11,7 +11,10 @@ import pytest
 from repro.experiments.itc02_tables import table3
 from repro.itc02.paper_tables import TABLE3_SOC_TDV
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_table3(benchmark):
@@ -35,3 +38,9 @@ def test_bench_figure3_hierarchy(benchmark):
     assert [c.name for c in soc.children_of("2")] == ["3", "4", "5", "6", "7", "8", "9"]
     assert [c.name for c in soc.children_of("10")] == ["11", "12", "13", "14", "15", "16", "17"]
     assert [c.name for c in soc.children_of("18")] == ["19"]
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

@@ -10,7 +10,10 @@ import pytest
 
 from repro.experiments.itc02_tables import render_table4, table4
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 TOLERANCE = 5e-4
 
@@ -41,3 +44,9 @@ def test_bench_table4(benchmark):
     assert by_name["a586710"].modular_percent == pytest.approx(-99.3, abs=0.2)
     # p22810's huge reduction (-97.7%).
     assert by_name["p22810"].modular_percent == pytest.approx(-97.7, abs=0.2)
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

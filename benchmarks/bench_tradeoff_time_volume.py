@@ -14,7 +14,10 @@ from repro.tam import (
     time_volume_tradeoff,
 )
 
-from conftest import run_once
+try:
+    from .common import run_once
+except ImportError:  # running as a plain script, not a package
+    from common import run_once
 
 
 def test_bench_time_volume_tradeoff(benchmark):
@@ -50,3 +53,9 @@ def test_bench_pareto_staircase(benchmark):
     result = cooptimize(specs, tam_width=16)
     result.schedule.verify()
     print(f"  co-optimized makespan at width 16: {result.makespan:,} cycles")
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", *sys.argv[1:]]))

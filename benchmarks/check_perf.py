@@ -1,0 +1,86 @@
+"""CI perf-regression gate over the ATPG engine benchmark record.
+
+Compares a freshly produced ``BENCH_atpg.json`` (see
+``bench_atpg_engine.py`` / ``common.record_bench``) against the
+committed baseline::
+
+    python benchmarks/check_perf.py BENCH_atpg.json BENCH_atpg_current.json
+
+Two kinds of checks, per benchmark label:
+
+* **Exact** — ``patterns``, ``fault_coverage`` and ``gates`` must match
+  the baseline bit-for-bit.  The engine is deterministic; any drift
+  here is a correctness regression, not noise.
+* **Throughput band** — ``patterns_per_second`` and
+  ``faults_simulated_per_second`` must stay above ``--min-ratio``
+  (default 0.5) of the baseline.  The wide band absorbs the machine
+  difference between the baseline host and CI runners plus scheduler
+  jitter; it exists to catch algorithmic regressions (a kernel going
+  quadratic), not percent-level noise.
+
+Exit status is non-zero on any violation, with one line per failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+EXACT_KEYS = ("patterns", "fault_coverage", "gates")
+THROUGHPUT_KEYS = ("patterns_per_second", "faults_simulated_per_second")
+
+
+def compare(baseline: dict, current: dict, min_ratio: float) -> List[str]:
+    """All violations of ``current`` against ``baseline``, as messages."""
+    problems: List[str] = []
+    for label, base_entry in sorted(baseline.items()):
+        entry = current.get(label)
+        if entry is None:
+            problems.append(f"{label}: missing from current record")
+            continue
+        for key in EXACT_KEYS:
+            if key in base_entry and entry.get(key) != base_entry[key]:
+                problems.append(
+                    f"{label}.{key}: expected {base_entry[key]!r} exactly, "
+                    f"got {entry.get(key)!r} (determinism regression)"
+                )
+        for key in THROUGHPUT_KEYS:
+            if key not in base_entry:
+                continue
+            floor = min_ratio * base_entry[key]
+            value = entry.get(key, 0.0)
+            if value < floor:
+                problems.append(
+                    f"{label}.{key}: {value:.1f} is below {floor:.1f} "
+                    f"({min_ratio:.0%} of baseline {base_entry[key]:.1f})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.5, metavar="R",
+        help="throughput floor as a fraction of baseline (default: 0.5)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.current) as handle:
+        current = json.load(handle)
+    problems = compare(baseline, current, args.min_ratio)
+    for problem in problems:
+        print(f"PERF GATE: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    labels = ", ".join(sorted(baseline))
+    print(f"perf gate OK ({labels}; min-ratio {args.min_ratio})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

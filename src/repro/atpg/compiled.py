@@ -10,8 +10,9 @@ the event-driven fault simulator all run on this form.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.gates import GateType
 from ..circuit.netlist import Netlist
@@ -107,6 +108,12 @@ class CompiledCircuit:
         self._output_id_set = set(self.output_ids)
         self._build_flat_view()
         self._cone_cache: Dict[int, List[int]] = {}
+        self._ffr: Optional[Tuple[List[int], List[int]]] = None
+        # Good-machine batch memo (filled by FaultSimulator): input-rail
+        # key -> fully simulated RailBatch.  Lives here so every
+        # simulator sharing this compilation shares the memo; it is pure
+        # derived state and never part of a run's identity.
+        self.good_value_cache: "OrderedDict" = OrderedDict()
 
     def _build_flat_view(self) -> None:
         """Lower the gate table to parallel flat arrays.
@@ -205,6 +212,39 @@ class CompiledCircuit:
         cone = sorted(seen_gates)
         self._cone_cache[net_id] = cone
         return cone
+
+    def ffr_view(self) -> Tuple[List[int], List[int]]:
+        """Fanout-free-region structure: ``(ffr_root, ffr_load_gate)``.
+
+        A net is a *region root* when it is a (pseudo-)primary output
+        or does not feed exactly one gate pin (fanout stems, dangling
+        nets, and nets wired to two pins of the same gate all count —
+        the fanout list holds one entry per loading *pin*).
+        ``ffr_root[n]`` is the root net the unique gate chain from
+        ``n`` ends at (``n`` itself for roots); ``ffr_load_gate[n]`` is
+        the single loading gate along that chain, or ``-1`` at roots.
+
+        Inside a region every fault effect travels a unique
+        reconvergence-free path, which is what lets the fault simulator
+        replace per-fault event chases with local path-sensitization
+        algebra on fully specified batches.  Net ids are topological
+        (a gate's output id exceeds all its input ids), so one
+        descending pass resolves every chain.  Memoized per circuit.
+        """
+        if self._ffr is None:
+            load = [-1] * self.net_count
+            root = list(range(self.net_count))
+            is_out = self.is_output_flag
+            fanout = self.fanout
+            gate_out = self.gate_out
+            for net_id in range(self.net_count - 1, -1, -1):
+                loads = fanout[net_id]
+                if len(loads) == 1 and not is_out[net_id]:
+                    gate_index = loads[0]
+                    load[net_id] = gate_index
+                    root[net_id] = root[gate_out[gate_index]]
+            self._ffr = (root, load)
+        return self._ffr
 
     def __repr__(self) -> str:
         return (

@@ -22,7 +22,12 @@ from ..runtime.config import AtpgConfig
 from .compaction import static_compact
 from .compiled import CompiledCircuit
 from .faults import Fault, collapse_faults
-from .faultsim import FaultSimulator, publish_kernel_stats, sim_stats
+from .faultsim import (
+    FaultShardPool,
+    FaultSimulator,
+    publish_kernel_stats,
+    sim_stats,
+)
 from .logicsim import RailBatch, pack_patterns_flat, simulate_flat
 from .patterns import TestPattern, TestSet
 from .podem import Podem, PodemOutcome
@@ -142,11 +147,9 @@ class _PatternBlock:
         if self.count == 0:
             return
         good = RailBatch(self.ones, self.zeros, self.count)
-        simulator, count = self._simulator, self.count
+        masks = self._simulator.detect_masks(good, self.count, queue)
         survivors = [
-            fault
-            for fault in queue
-            if not simulator.detect_mask(good, count, fault)
+            fault for fault, mask in zip(queue, masks) if not mask
         ]
         queue.clear()
         queue.extend(survivors)
@@ -165,6 +168,7 @@ def generate_tests(
     dynamic_compaction: int = 0,
     config: Optional[AtpgConfig] = None,
     circuit: Optional[CompiledCircuit] = None,
+    workers: int = 1,
 ) -> AtpgResult:
     """Run the full ATPG flow on a netlist's full-scan view.
 
@@ -190,6 +194,12 @@ def generate_tests(
     compilation and its memoized cone/reachability precomputation.  It
     is pure shared state, never part of a run's identity, and does not
     enter the :meth:`~repro.runtime.config.AtpgConfig.fingerprint`.
+
+    ``workers`` > 1 shards the final verification fault simulation
+    across a process pool (:class:`~repro.atpg.faultsim.FaultShardPool`);
+    the merged masks are bit-identical to the serial pass, so — like
+    ``circuit`` — it is an execution detail, never part of a run's
+    identity, and deliberately not an :class:`AtpgConfig` field.
     """
     if config is not None:
         seed = config.seed
@@ -263,7 +273,9 @@ def generate_tests(
             filled = combined.filled(circuit, seed=seed)
 
         with tracer.span("verify"):
-            kept, detected = _verify_and_prune(circuit, filled, all_faults, simulator)
+            kept, detected = _verify_and_prune(
+                circuit, filled, all_faults, simulator, workers=workers
+            )
 
         if tracer.enabled:
             tracer.count(ATPG_RUNS)
@@ -337,6 +349,7 @@ def _verify_and_prune(
     test_set: TestSet,
     faults: List[Fault],
     simulator: FaultSimulator,
+    workers: int = 1,
 ) -> tuple:
     """Final fault simulation; drops patterns that add no coverage.
 
@@ -346,6 +359,11 @@ def _verify_and_prune(
     the classic reverse-order fault-simulation pruning, typically worth
     a multi-x pattern-count reduction over a forward pass.  The kept
     patterns come back in their original relative order.
+
+    With ``workers`` > 1 the per-batch mask sweep shards the remaining
+    fault list across a :class:`~repro.atpg.faultsim.FaultShardPool`;
+    the canonical-order merge keeps the kept set and detect counts
+    bit-identical to the serial pass.
     """
     remaining = list(faults)
     detected = 0
@@ -354,22 +372,23 @@ def _verify_and_prune(
     keep_flags = [False] * len(patterns)
     reversed_index = list(range(len(patterns) - 1, -1, -1))
     abort = get_abort()
-    for start in range(0, len(patterns), batch_size):
-        abort.check()
-        chunk = reversed_index[start:start + batch_size]
-        # Patterns are fully specified here, so their assignment dicts
-        # are already the per-input trit maps the packer wants.
-        trits = [patterns[i].assignments for i in chunk]
-        good, count = simulator.good_values(trits)
-        survivors = []
-        for fault in remaining:
-            mask = simulator.detect_mask(good, count, fault)
-            if mask:
-                detected += 1
-                keep_flags[chunk[(mask & -mask).bit_length() - 1]] = True
-            else:
-                survivors.append(fault)
-        remaining = survivors
+    with FaultShardPool(circuit, faults, workers, simulator) as pool:
+        for start in range(0, len(patterns), batch_size):
+            abort.check()
+            chunk = reversed_index[start:start + batch_size]
+            # Patterns are fully specified here, so their assignment
+            # dicts are already the per-input trit maps the packer wants.
+            trits = [patterns[i].assignments for i in chunk]
+            good, count = simulator.good_values(trits)
+            survivors = []
+            masks = pool.detect_masks(good, count, remaining)
+            for fault, mask in zip(remaining, masks):
+                if mask:
+                    detected += 1
+                    keep_flags[chunk[(mask & -mask).bit_length() - 1]] = True
+                else:
+                    survivors.append(fault)
+            remaining = survivors
     kept = TestSet(
         circuit_name=test_set.circuit_name,
         patterns=[p for p, keep in zip(patterns, keep_flags) if keep],
@@ -384,6 +403,7 @@ def generate_n_detect_tests(
     backtrack_limit: Optional[int] = None,
     max_passes: Optional[int] = None,
     config: Optional[AtpgConfig] = None,
+    workers: int = 1,
 ) -> AtpgResult:
     """N-detect test generation: every fault observed ``n_detect`` times.
 
@@ -403,6 +423,9 @@ def generate_n_detect_tests(
     (:class:`~repro.runtime.config.AtpgConfig`); the loose ``seed`` /
     ``backtrack_limit`` keywords are deprecated shims kept for one
     release, and ``config`` wins over them as it always has.
+    ``workers`` fans the verification and quota-charging fault
+    simulations out across processes (bit-identical for any count) and,
+    like the engine's, stays out of ``config``.
     """
     if seed is not None or backtrack_limit is not None:
         warnings.warn(
@@ -432,36 +455,40 @@ def generate_n_detect_tests(
     passes = 0
     limit = max_passes if max_passes is not None else n_detect + 2
     abort = get_abort()
-    while passes < limit and remaining_quota:
-        abort.check()
-        targets = list(remaining_quota)
-        result = generate_tests(
-            netlist,
-            seed=seed + passes,
-            backtrack_limit=backtrack_limit,
-            faults=targets,
-            circuit=circuit,
-        )
-        if passes == 0:
-            untestable = result.untestable
-            for fault in untestable:
-                remaining_quota.pop(fault, None)
-        aborted = result.aborted
-        combined.patterns.extend(result.test_set.patterns)
-        # Charge the new patterns against the quotas they serve, 64 at
-        # a time: the popcount of the detect mask is exactly the number
-        # of per-pattern decrements the one-at-a-time loop would make.
-        new_patterns = result.test_set.patterns
-        for start in range(0, len(new_patterns), 64):
-            batch = new_patterns[start:start + 64]
-            good, count = simulator.good_values([p.assignments for p in batch])
-            for fault in list(remaining_quota):
-                mask = simulator.detect_mask(good, count, fault)
-                if mask:
-                    remaining_quota[fault] -= bin(mask).count("1")
-                    if remaining_quota[fault] <= 0:
-                        del remaining_quota[fault]
-        passes += 1
+    with FaultShardPool(circuit, all_faults, workers, simulator) as pool:
+        while passes < limit and remaining_quota:
+            abort.check()
+            targets = list(remaining_quota)
+            result = generate_tests(
+                netlist,
+                seed=seed + passes,
+                backtrack_limit=backtrack_limit,
+                faults=targets,
+                circuit=circuit,
+                workers=workers,
+            )
+            if passes == 0:
+                untestable = result.untestable
+                for fault in untestable:
+                    remaining_quota.pop(fault, None)
+            aborted = result.aborted
+            combined.patterns.extend(result.test_set.patterns)
+            # Charge the new patterns against the quotas they serve, 64
+            # at a time: the popcount of the detect mask is exactly the
+            # number of per-pattern decrements the one-at-a-time loop
+            # would make.
+            new_patterns = result.test_set.patterns
+            for start in range(0, len(new_patterns), 64):
+                batch = new_patterns[start:start + 64]
+                good, count = simulator.good_values([p.assignments for p in batch])
+                targets = list(remaining_quota)
+                masks = pool.detect_masks(good, count, targets)
+                for fault, mask in zip(targets, masks):
+                    if mask:
+                        remaining_quota[fault] -= bin(mask).count("1")
+                        if remaining_quota[fault] <= 0:
+                            del remaining_quota[fault]
+            passes += 1
 
     satisfied = len(all_faults) - len(untestable) - len(remaining_quota)
     return AtpgResult(

@@ -47,18 +47,30 @@ class Fault:
         return f"{site} stuck-at-{self.stuck_at}"
 
 
+def _fault_site_universe(circuit: CompiledCircuit) -> List[Tuple]:
+    """All fault sites as (net, stuck_at, gate_index, pin) tuples.
+
+    The tuple form is what collapsing actually operates on; building
+    :class:`Fault` objects for the full universe just to discard most of
+    them during collapsing costs more than the union-find itself.
+    """
+    sites: List[Tuple] = []
+    for net_id in range(circuit.net_count):
+        sites.append((net_id, 0, None, None))
+        sites.append((net_id, 1, None, None))
+    fanout = circuit.fanout
+    for gate in circuit.gates:
+        index = gate.index
+        for pin, net_id in enumerate(gate.inputs):
+            if len(fanout[net_id]) > 1:
+                sites.append((net_id, 0, index, pin))
+                sites.append((net_id, 1, index, pin))
+    return sites
+
+
 def full_fault_universe(circuit: CompiledCircuit) -> List[Fault]:
     """All stem and (multi-load) branch faults, both polarities."""
-    faults: List[Fault] = []
-    for net_id in range(circuit.net_count):
-        for value in (0, 1):
-            faults.append(Fault(net_id, value))
-    for gate in circuit.gates:
-        for pin, net_id in enumerate(gate.inputs):
-            if len(circuit.fanout[net_id]) > 1:
-                for value in (0, 1):
-                    faults.append(Fault(net_id, value, gate.index, pin))
-    return faults
+    return [Fault(*site) for site in _fault_site_universe(circuit)]
 
 
 class _UnionFind:
@@ -88,11 +100,11 @@ def collapse_faults(
     deterministic for reproducible pattern counts.
     """
     if faults is None:
-        faults = full_fault_universe(circuit)
-    index_of: Dict[Tuple, int] = {}
-    for i, fault in enumerate(faults):
-        index_of[(fault.net, fault.stuck_at, fault.gate_index, fault.pin)] = i
-    uf = _UnionFind(len(faults))
+        sites = _fault_site_universe(circuit)
+    else:
+        sites = [(f.net, f.stuck_at, f.gate_index, f.pin) for f in faults]
+    index_of: Dict[Tuple, int] = {site: i for i, site in enumerate(sites)}
+    uf = _UnionFind(len(sites))
 
     def lookup(net: int, stuck_at: int, gate_index=None, pin=None) -> Optional[int]:
         return index_of.get((net, stuck_at, gate_index, pin))
@@ -123,15 +135,19 @@ def collapse_faults(
                 branch = lookup(in_net, control)
             _maybe_union(uf, branch, lookup(gate.output, out_value))
 
-    representatives: Dict[int, Fault] = {}
-    for i, fault in enumerate(faults):
-        root = uf.find(i)
-        if root not in representatives:
-            representatives[root] = faults[root]
-    return sorted(
-        representatives.values(),
-        key=lambda f: (f.net, f.stuck_at, f.gate_index is not None, f.gate_index or 0, f.pin or 0),
+    roots = {uf.find(i) for i in range(len(sites))}
+    if faults is not None:
+        representatives = [faults[root] for root in roots]
+        return sorted(
+            representatives,
+            key=lambda f: (f.net, f.stuck_at, f.gate_index is not None,
+                           f.gate_index or 0, f.pin or 0),
+        )
+    ordered = sorted(
+        (sites[root] for root in roots),
+        key=lambda s: (s[0], s[1], s[2] is not None, s[2] or 0, s[3] or 0),
     )
+    return [Fault(*site) for site in ordered]
 
 
 def _maybe_union(uf: _UnionFind, i: Optional[int], j: Optional[int]) -> None:

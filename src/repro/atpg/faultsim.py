@@ -23,6 +23,8 @@ bit-identical to the full-cone reference rescan
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..observability import register_counter
@@ -40,7 +42,12 @@ from .logicsim import (
 # Running totals over every FaultSimulator in the process — the
 # benchmarks read these to attribute speedups to the kernel
 # (faults-simulated-per-second) rather than to pattern-count drift.
-SIM_STATS = {"detect_calls": 0, "fault_pattern_evals": 0, "gate_evals": 0}
+SIM_STATS = {
+    "detect_calls": 0,
+    "fault_pattern_evals": 0,
+    "gate_evals": 0,
+    "good_cache_hits": 0,
+}
 
 
 def reset_sim_stats() -> None:
@@ -68,7 +75,17 @@ KERNEL_METRICS = {
     "gate_evals": register_counter(
         "faultsim.gate_evals", "gate re-evaluations in the event kernel"
     ),
+    "good_cache_hits": register_counter(
+        "faultsim.good_cache_hits",
+        "good-machine batch simulations served from the per-circuit cache",
+    ),
 }
+
+# Per-circuit good-machine memo size.  Batches are keyed by their input
+# rails, so a hit is exact; 32 entries comfortably covers the batch
+# windows the engine replays (n-detect quota passes, coverage checks)
+# without holding more than a few hundred KiB of rails per circuit.
+GOOD_CACHE_CAPACITY = 32
 
 
 def publish_kernel_stats(tracer, baseline: Dict[str, int]) -> None:
@@ -103,6 +120,16 @@ class FaultSimulator:
         self._gate_stamp = [0] * len(circuit.gates)
         self._buckets: List[List[int]] = [[] for _ in range(circuit.max_level + 1)]
         self._epoch = 0
+        # Fanout-free-region scratch for fully specified batches:
+        # per-net path-sensitization memo and per-root observability
+        # memo (one per stuck polarity), each stamped per batch.
+        self._sens_val = [0] * net_count
+        self._sens_stamp = [0] * net_count
+        self._obs0 = [0] * net_count
+        self._obs1 = [0] * net_count
+        self._obs0_stamp = [0] * net_count
+        self._obs1_stamp = [0] * net_count
+        self._ffr_epoch = 0
 
     def good_values(
         self, patterns: Sequence[Dict[int, Optional[int]]]
@@ -113,10 +140,43 @@ class FaultSimulator:
         the ambient abort token gets a cooperative deadline check — this
         is the kernel's only concession to the runtime layer above it.
         """
-        get_abort().check()
         ones, zeros = pack_patterns_flat(self.circuit, patterns)
-        simulate_flat(self.circuit, ones, zeros, len(patterns))
-        return RailBatch(ones, zeros, len(patterns)), len(patterns)
+        return self.good_values_rails(ones, zeros, len(patterns))
+
+    def good_values_rails(
+        self, ones: List[int], zeros: List[int], count: int
+    ) -> Tuple[RailBatch, int]:
+        """Good-machine simulation from already-packed input rails.
+
+        This is the fast path for callers that draw their batches
+        directly in packed form (the random phase) — no per-pattern
+        dicts, no repack.  Results are memoized on the circuit, keyed by
+        the exact input-net rails, so replaying a batch (n-detect quota
+        charging, coverage re-checks) skips the gate sweep entirely; a
+        hit is counted in ``SIM_STATS["good_cache_hits"]``.  Cached
+        batches are shared and must be treated as read-only — every
+        consumer in the tree writes fault effects to its own scratch
+        rails, never to the good batch.
+        """
+        get_abort().check()
+        circuit = self.circuit
+        cache = circuit.good_value_cache
+        key = (
+            count,
+            tuple(ones[i] for i in circuit.input_ids),
+            tuple(zeros[i] for i in circuit.input_ids),
+        )
+        batch = cache.get(key)
+        if batch is not None:
+            cache.move_to_end(key)
+            SIM_STATS["good_cache_hits"] += 1
+            return batch, count
+        simulate_flat(circuit, ones, zeros, count)
+        batch = RailBatch(ones, zeros, count)
+        cache[key] = batch
+        if len(cache) > GOOD_CACHE_CAPACITY:
+            cache.popitem(last=False)
+        return batch, count
 
     def detect_mask(
         self,
@@ -189,7 +249,7 @@ class FaultSimulator:
         stuck_ones, stuck_zeros = (full, 0) if fault.stuck_at else (0, full)
 
         # -- seed the worklist with the fault site ----------------------
-        if fault.is_branch:
+        if fault.gate_index is not None:
             seed_gate = fault.gate_index
             op, seed_net, ins = gate_table[seed_gate]
             if not reaches[seed_net]:
@@ -323,6 +383,529 @@ class FaultSimulator:
         SIM_STATS["gate_evals"] += gate_evals
         return detected
 
+    def detect_masks(
+        self,
+        good: GoodValues,
+        pattern_count: int,
+        faults: Iterable[Fault],
+    ) -> List[int]:
+        """Detect masks for many faults over one batch, in fault order.
+
+        Semantically ``[self.detect_mask(good, pattern_count, f) for f
+        in faults]``, but with the kernel's per-call setup (rail/array
+        bindings, full-mask computation, stats bookkeeping) hoisted out
+        of the fault loop.  The event chase itself averages only a
+        handful of gate evaluations per fault on realistic circuits, so
+        that fixed setup dominates single-fault calls — the random and
+        verification phases, which sweep thousands of faults per batch,
+        go through here instead.
+        """
+        circuit = self.circuit
+        if type(good) is RailBatch:
+            g_ones, g_zeros = good.ones, good.zeros
+        else:  # legacy list-of-rails form
+            g_ones = [rail[0] for rail in good]
+            g_zeros = [rail[1] for rail in good]
+        full = (1 << pattern_count) - 1
+
+        # Fully specified batches (every input defined in every pattern
+        # implies — all gate functions preserve definedness — no X
+        # anywhere) take the fanout-free-region fast path: per-fault
+        # event chases collapse to local path-sensitization algebra
+        # plus at most one memoized chase per region root and polarity.
+        for i in circuit.input_ids:
+            if (g_ones[i] | g_zeros[i]) != full:
+                break
+        else:
+            return self._ffr_detect_masks(
+                g_ones, g_zeros, full, pattern_count, faults
+            )
+
+        reaches = circuit.reaches_output
+        is_out = circuit.is_output_flag
+        gate_table = circuit.gate_table
+        gate_out = circuit.gate_out
+        gate_levels = circuit.gate_levels
+        fan_start = circuit.fanout_start
+        fan_gates = circuit.fanout_gates
+        f_ones, f_zeros = self._f_ones, self._f_zeros
+        net_stamp, gate_stamp = self._net_stamp, self._gate_stamp
+        buckets = self._buckets
+        epoch = self._epoch
+        level_cap = circuit.max_level + 1
+
+        masks: List[int] = []
+        append_mask = masks.append
+        fault_count = 0
+        gate_evals = 0
+        for fault in faults:
+            fault_count += 1
+            epoch += 1
+            stuck_ones, stuck_zeros = (full, 0) if fault.stuck_at else (0, full)
+
+            # -- seed the worklist with the fault site ------------------
+            seed_gate = fault.gate_index
+            if seed_gate is not None:
+                op, seed_net, ins = gate_table[seed_gate]
+                if not reaches[seed_net]:
+                    append_mask(0)
+                    continue
+                # Inline eval_rail_op with the faulty pin overridden —
+                # no per-call input-rail list materialization.
+                pin = fault.pin
+                if OP_AND <= op <= OP_NOR:
+                    if op <= OP_NAND:  # AND / NAND
+                        o, z = full, 0
+                        for p, i in enumerate(ins):
+                            if p == pin:
+                                o &= stuck_ones
+                                z |= stuck_zeros
+                            else:
+                                o &= g_ones[i]
+                                z |= g_zeros[i]
+                        if op == OP_NAND:
+                            o, z = z, o
+                    else:  # OR / NOR
+                        o, z = 0, full
+                        for p, i in enumerate(ins):
+                            if p == pin:
+                                o |= stuck_ones
+                                z &= stuck_zeros
+                            else:
+                                o |= g_ones[i]
+                                z &= g_zeros[i]
+                        if op == OP_NOR:
+                            o, z = z, o
+                elif op <= OP_NOT:  # BUF / NOT (pin is always 0)
+                    o, z = stuck_ones, stuck_zeros
+                    if op == OP_NOT:
+                        o, z = z, o
+                else:  # XOR / XNOR
+                    o = z = None
+                    for p, i in enumerate(ins):
+                        if p == pin:
+                            io, iz = stuck_ones, stuck_zeros
+                        else:
+                            io, iz = g_ones[i], g_zeros[i]
+                        if o is None:
+                            o, z = io, iz
+                        else:
+                            o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+                    if op == OP_XNOR:
+                        o, z = z, o
+                if o == g_ones[seed_net] and z == g_zeros[seed_net]:
+                    append_mask(0)
+                    continue
+                gate_stamp[seed_gate] = epoch
+            else:
+                seed_net = fault.net
+                if not reaches[seed_net]:
+                    append_mask(0)
+                    continue
+                if g_ones[seed_net] == stuck_ones and g_zeros[seed_net] == stuck_zeros:
+                    append_mask(0)
+                    continue
+                o, z = stuck_ones, stuck_zeros
+            f_ones[seed_net] = o
+            f_zeros[seed_net] = z
+            net_stamp[seed_net] = epoch
+            detected = 0
+            if is_out[seed_net]:
+                detected = (g_ones[seed_net] & z) | (g_zeros[seed_net] & o)
+                if detected == full:
+                    append_mask(detected)
+                    continue
+
+            pending = 0
+            level = level_cap
+            top_level = 0
+            for k in range(fan_start[seed_net], fan_start[seed_net + 1]):
+                g = fan_gates[k]
+                if gate_stamp[g] != epoch and reaches[gate_out[g]]:
+                    gate_stamp[g] = epoch
+                    lvl = gate_levels[g]
+                    buckets[lvl].append(g)
+                    pending += 1
+                    if lvl < level:
+                        level = lvl
+                    if lvl > top_level:
+                        top_level = lvl
+
+            # -- levelized event sweep (see _propagate) -----------------
+            while pending and level <= top_level:
+                bucket = buckets[level]
+                level += 1
+                if not bucket:
+                    continue
+                for gi in bucket:
+                    pending -= 1
+                    gate_evals += 1
+                    op, out_net, ins = gate_table[gi]
+                    if op >= OP_AND and op <= OP_NOR:
+                        if op <= OP_NAND:  # AND / NAND
+                            o, z = full, 0
+                            for i in ins:
+                                if net_stamp[i] == epoch:
+                                    o &= f_ones[i]
+                                    z |= f_zeros[i]
+                                else:
+                                    o &= g_ones[i]
+                                    z |= g_zeros[i]
+                            if op == OP_NAND:
+                                o, z = z, o
+                        else:  # OR / NOR
+                            o, z = 0, full
+                            for i in ins:
+                                if net_stamp[i] == epoch:
+                                    o |= f_ones[i]
+                                    z &= f_zeros[i]
+                                else:
+                                    o |= g_ones[i]
+                                    z &= g_zeros[i]
+                            if op == OP_NOR:
+                                o, z = z, o
+                    elif op <= OP_NOT:  # BUF / NOT
+                        i = ins[0]
+                        if net_stamp[i] == epoch:
+                            o, z = f_ones[i], f_zeros[i]
+                        else:
+                            o, z = g_ones[i], g_zeros[i]
+                        if op == OP_NOT:
+                            o, z = z, o
+                    else:  # XOR / XNOR
+                        it = iter(ins)
+                        i = next(it)
+                        if net_stamp[i] == epoch:
+                            o, z = f_ones[i], f_zeros[i]
+                        else:
+                            o, z = g_ones[i], g_zeros[i]
+                        for i in it:
+                            if net_stamp[i] == epoch:
+                                io, iz = f_ones[i], f_zeros[i]
+                            else:
+                                io, iz = g_ones[i], g_zeros[i]
+                            o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+                        if op == OP_XNOR:
+                            o, z = z, o
+                    if o == g_ones[out_net] and z == g_zeros[out_net]:
+                        continue  # event absorbed — fanout stays good
+                    f_ones[out_net] = o
+                    f_zeros[out_net] = z
+                    net_stamp[out_net] = epoch
+                    if is_out[out_net]:
+                        detected |= (g_ones[out_net] & z) | (g_zeros[out_net] & o)
+                        if detected == full:
+                            del bucket[:]
+                            for l in range(level, top_level + 1):
+                                if buckets[l]:
+                                    del buckets[l][:]
+                            pending = 0
+                            break
+                    for k in range(fan_start[out_net], fan_start[out_net + 1]):
+                        g = fan_gates[k]
+                        if gate_stamp[g] != epoch and reaches[gate_out[g]]:
+                            gate_stamp[g] = epoch
+                            lvl = gate_levels[g]
+                            buckets[lvl].append(g)
+                            pending += 1
+                            if lvl > top_level:
+                                top_level = lvl
+                else:
+                    del bucket[:]
+            append_mask(detected)
+
+        self._epoch = epoch
+        SIM_STATS["detect_calls"] += fault_count
+        SIM_STATS["fault_pattern_evals"] += fault_count * pattern_count
+        SIM_STATS["gate_evals"] += gate_evals
+        return masks
+
+    # -- fanout-free-region fast path (fully specified batches) ----------
+
+    def _ffr_detect_masks(
+        self,
+        g_ones: List[int],
+        g_zeros: List[int],
+        full: int,
+        pattern_count: int,
+        faults: Iterable[Fault],
+    ) -> List[int]:
+        """Detect masks over an X-free batch via region decomposition.
+
+        With no X values, fault detection factors exactly:
+
+        * inside a fanout-free region every net feeds one gate pin, so
+          the effect travels a unique, reconvergence-free path — per
+          pattern it reaches the region root iff the fault is excited
+          (good value differs from the stuck value) and every gate on
+          the path is side-sensitized (AND/NAND siblings all 1, OR/NOR
+          siblings all 0; BUF/NOT/XOR/XNOR always pass a flip);
+        * beyond the root, a pattern's response depends only on whether
+          the root flipped, which is the root's *stem* behavior — one
+          event chase per (root, polarity), shared by every fault in
+          the region and memoized per batch.
+
+        Detect masks are bit-identical to the event kernel (the
+        differential kernel tests enforce it); only the work changes,
+        from one chase per fault to one per live region root.
+        """
+        circuit = self.circuit
+        ffr_root, ffr_load = circuit.ffr_view()
+        reaches = circuit.reaches_output
+        gate_table = circuit.gate_table
+        gate_out = circuit.gate_out
+        chase = self._chase_stem
+        self._ffr_epoch += 1
+        ep = self._ffr_epoch
+        sens_val, sens_stamp = self._sens_val, self._sens_stamp
+        obs0, obs1 = self._obs0, self._obs1
+        obs0_stamp, obs1_stamp = self._obs0_stamp, self._obs1_stamp
+
+        masks: List[int] = []
+        append_mask = masks.append
+        fault_count = 0
+        for fault in faults:
+            fault_count += 1
+            net = fault.net
+            if not reaches[net]:
+                append_mask(0)
+                continue
+            # Excitation: patterns whose good value differs from the
+            # stuck value (X-free, so the complement rail is exact).
+            mask = g_ones[net] if fault.stuck_at == 0 else g_zeros[net]
+            gate_index = fault.gate_index
+            if gate_index is None:
+                if ffr_load[net] < 0:
+                    # Stem at a region root: the chase itself is the
+                    # exact answer (excitation is its seed guard).
+                    if fault.stuck_at:
+                        if obs1_stamp[net] != ep:
+                            obs1[net] = chase(g_ones, g_zeros, full, net, full, 0)
+                            obs1_stamp[net] = ep
+                        append_mask(obs1[net])
+                    else:
+                        if obs0_stamp[net] != ep:
+                            obs0[net] = chase(g_ones, g_zeros, full, net, 0, full)
+                            obs0_stamp[net] = ep
+                        append_mask(obs0[net])
+                    continue
+                start = net
+            else:
+                # Branch fault: the flip is visible at the gate output
+                # iff excited and this pin is side-sensitized.
+                op, out_net, ins = gate_table[gate_index]
+                pin = fault.pin
+                if OP_AND <= op <= OP_NOR:
+                    if op <= OP_NAND:  # AND / NAND
+                        for p, i in enumerate(ins):
+                            if p != pin:
+                                mask &= g_ones[i]
+                    else:  # OR / NOR
+                        for p, i in enumerate(ins):
+                            if p != pin:
+                                mask &= g_zeros[i]
+                start = out_net
+            if not mask:
+                append_mask(0)
+                continue
+            # Side-sensitization from ``start`` to its region root,
+            # memoized per net: walk the unmemoized chain suffix, then
+            # fold values back down in chain order.
+            if sens_stamp[start] != ep:
+                chain: List[int] = []
+                n = start
+                while sens_stamp[n] != ep:
+                    gate_index = ffr_load[n]
+                    if gate_index < 0:
+                        sens_val[n] = full
+                        sens_stamp[n] = ep
+                        break
+                    chain.append(n)
+                    n = gate_out[gate_index]
+                for n in reversed(chain):
+                    gate_index = ffr_load[n]
+                    op, out_net, ins = gate_table[gate_index]
+                    acc = sens_val[out_net]
+                    if acc:
+                        if OP_AND <= op <= OP_NOR:
+                            # Single-load nets appear on exactly one
+                            # pin, so exclusion by net id is exact.
+                            if op <= OP_NAND:
+                                for i in ins:
+                                    if i != n:
+                                        acc &= g_ones[i]
+                            else:
+                                for i in ins:
+                                    if i != n:
+                                        acc &= g_zeros[i]
+                    sens_val[n] = acc
+                    sens_stamp[n] = ep
+            mask &= sens_val[start]
+            if not mask:
+                append_mask(0)
+                continue
+            # Root observability: patterns where flipping the root is
+            # seen at an output.  The two polarity chases have disjoint
+            # supports (each detects only where the good value differs
+            # from its stuck value), so their union is the exact
+            # per-pattern flip observability.
+            root = ffr_root[start]
+            if obs0_stamp[root] != ep:
+                obs0[root] = chase(g_ones, g_zeros, full, root, 0, full)
+                obs0_stamp[root] = ep
+            if obs1_stamp[root] != ep:
+                obs1[root] = chase(g_ones, g_zeros, full, root, full, 0)
+                obs1_stamp[root] = ep
+            append_mask(mask & (obs0[root] | obs1[root]))
+
+        SIM_STATS["detect_calls"] += fault_count
+        SIM_STATS["fault_pattern_evals"] += fault_count * pattern_count
+        return masks
+
+    def _chase_stem(
+        self,
+        g_ones: List[int],
+        g_zeros: List[int],
+        full: int,
+        seed_net: int,
+        stuck_ones: int,
+        stuck_zeros: int,
+    ) -> int:
+        """One stem event chase; the region fast path's only sweep.
+
+        Identical to the stem arm of :meth:`_propagate` (including the
+        full-detection early exit) but free of the per-fault stats —
+        region chases are shared across faults, so the callers account
+        for detect/pattern totals themselves.  Gate evaluations still
+        land in ``SIM_STATS`` (they are real kernel work).
+        """
+        circuit = self.circuit
+        reaches = circuit.reaches_output
+        if not reaches[seed_net]:
+            return 0
+        if g_ones[seed_net] == stuck_ones and g_zeros[seed_net] == stuck_zeros:
+            return 0
+        is_out = circuit.is_output_flag
+        gate_table = circuit.gate_table
+        gate_out = circuit.gate_out
+        gate_levels = circuit.gate_levels
+        fan_start = circuit.fanout_start
+        fan_gates = circuit.fanout_gates
+        f_ones, f_zeros = self._f_ones, self._f_zeros
+        net_stamp, gate_stamp = self._net_stamp, self._gate_stamp
+        buckets = self._buckets
+        self._epoch += 1
+        epoch = self._epoch
+
+        f_ones[seed_net] = stuck_ones
+        f_zeros[seed_net] = stuck_zeros
+        net_stamp[seed_net] = epoch
+        detected = 0
+        if is_out[seed_net]:
+            detected = (g_ones[seed_net] & stuck_zeros) | (
+                g_zeros[seed_net] & stuck_ones
+            )
+            if detected == full:
+                return detected
+
+        pending = 0
+        level = circuit.max_level + 1
+        top_level = 0
+        for k in range(fan_start[seed_net], fan_start[seed_net + 1]):
+            g = fan_gates[k]
+            if gate_stamp[g] != epoch and reaches[gate_out[g]]:
+                gate_stamp[g] = epoch
+                lvl = gate_levels[g]
+                buckets[lvl].append(g)
+                pending += 1
+                if lvl < level:
+                    level = lvl
+                if lvl > top_level:
+                    top_level = lvl
+
+        gate_evals = 0
+        while pending and level <= top_level:
+            bucket = buckets[level]
+            level += 1
+            if not bucket:
+                continue
+            for gi in bucket:
+                pending -= 1
+                gate_evals += 1
+                op, out_net, ins = gate_table[gi]
+                if op >= OP_AND and op <= OP_NOR:
+                    if op <= OP_NAND:  # AND / NAND
+                        o, z = full, 0
+                        for i in ins:
+                            if net_stamp[i] == epoch:
+                                o &= f_ones[i]
+                                z |= f_zeros[i]
+                            else:
+                                o &= g_ones[i]
+                                z |= g_zeros[i]
+                        if op == OP_NAND:
+                            o, z = z, o
+                    else:  # OR / NOR
+                        o, z = 0, full
+                        for i in ins:
+                            if net_stamp[i] == epoch:
+                                o |= f_ones[i]
+                                z &= f_zeros[i]
+                            else:
+                                o |= g_ones[i]
+                                z &= g_zeros[i]
+                        if op == OP_NOR:
+                            o, z = z, o
+                elif op <= OP_NOT:  # BUF / NOT
+                    i = ins[0]
+                    if net_stamp[i] == epoch:
+                        o, z = f_ones[i], f_zeros[i]
+                    else:
+                        o, z = g_ones[i], g_zeros[i]
+                    if op == OP_NOT:
+                        o, z = z, o
+                else:  # XOR / XNOR
+                    it = iter(ins)
+                    i = next(it)
+                    if net_stamp[i] == epoch:
+                        o, z = f_ones[i], f_zeros[i]
+                    else:
+                        o, z = g_ones[i], g_zeros[i]
+                    for i in it:
+                        if net_stamp[i] == epoch:
+                            io, iz = f_ones[i], f_zeros[i]
+                        else:
+                            io, iz = g_ones[i], g_zeros[i]
+                        o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+                    if op == OP_XNOR:
+                        o, z = z, o
+                if o == g_ones[out_net] and z == g_zeros[out_net]:
+                    continue  # event absorbed — fanout stays good
+                f_ones[out_net] = o
+                f_zeros[out_net] = z
+                net_stamp[out_net] = epoch
+                if is_out[out_net]:
+                    detected |= (g_ones[out_net] & z) | (g_zeros[out_net] & o)
+                    if detected == full:
+                        del bucket[:]
+                        for l in range(level, top_level + 1):
+                            if buckets[l]:
+                                del buckets[l][:]
+                        SIM_STATS["gate_evals"] += gate_evals
+                        return detected
+                for k in range(fan_start[out_net], fan_start[out_net + 1]):
+                    g = fan_gates[k]
+                    if gate_stamp[g] != epoch and reaches[gate_out[g]]:
+                        gate_stamp[g] = epoch
+                        lvl = gate_levels[g]
+                        buckets[lvl].append(g)
+                        pending += 1
+                        if lvl > top_level:
+                            top_level = lvl
+            del bucket[:]
+        SIM_STATS["gate_evals"] += gate_evals
+        return detected
+
     # -- batch conveniences ---------------------------------------------
 
     def simulate_batch(
@@ -332,7 +915,9 @@ class FaultSimulator:
     ) -> Dict[Fault, int]:
         """Detection masks for every fault over one pattern batch."""
         good, count = self.good_values(patterns)
-        return {fault: self.detect_mask(good, count, fault) for fault in faults}
+        fault_list = list(faults)
+        masks = self.detect_masks(good, count, fault_list)
+        return dict(zip(fault_list, masks))
 
     def drop_detected(
         self,
@@ -343,8 +928,9 @@ class FaultSimulator:
         good, count = self.good_values(patterns)
         remaining = []
         dropped = 0
-        for fault in faults:
-            if self._propagate(good, count, fault, None):
+        masks = self.detect_masks(good, count, faults)
+        for fault, mask in zip(faults, masks):
+            if mask:
                 dropped += 1
             else:
                 remaining.append(fault)
@@ -376,20 +962,167 @@ class FaultSimulator:
         return useful
 
 
+# -- fault-parallel sharding ---------------------------------------------
+#
+# Verification-style passes (final verify/prune, coverage checks,
+# n-detect quota charging) sweep a fixed collapsed fault list against
+# many pattern batches.  Faults are independent under single-fault
+# simulation, so the list shards cleanly across worker processes; the
+# circuit and the full fault list ship once per worker (pool
+# initializer), and each call moves only the packed input rails plus
+# the shard's fault indices.  Masks merge back in canonical fault-list
+# order, so any worker count is bit-identical to the serial loop.
+
+# Worker-process state installed by :func:`_shard_init`.
+_SHARD_SIMULATOR: Optional[FaultSimulator] = None
+_SHARD_FAULTS: List[Fault] = []
+
+
+def _shard_init(circuit: CompiledCircuit, faults: List[Fault]) -> None:
+    """Pool initializer: build the per-worker simulator once."""
+    global _SHARD_SIMULATOR, _SHARD_FAULTS
+    _SHARD_SIMULATOR = FaultSimulator(circuit)
+    _SHARD_FAULTS = faults
+
+
+def _shard_detect(
+    indices: List[int], in_ones: List[int], in_zeros: List[int], count: int
+) -> List[int]:
+    """Worker entry point: detect masks for one shard of fault indices.
+
+    The good machine is re-simulated per worker from the input rails —
+    cheaper than pickling full net rails across, and served from the
+    worker's own per-circuit memo when the batch repeats.
+    """
+    simulator = _SHARD_SIMULATOR
+    circuit = simulator.circuit
+    ones = [0] * circuit.net_count
+    zeros = [0] * circuit.net_count
+    for net_id, o, z in zip(circuit.input_ids, in_ones, in_zeros):
+        ones[net_id] = o
+        zeros[net_id] = z
+    good, n = simulator.good_values_rails(ones, zeros, count)
+    faults = _SHARD_FAULTS
+    return simulator.detect_masks(good, n, [faults[i] for i in indices])
+
+
+class FaultShardPool:
+    """Fault-parallel :meth:`FaultSimulator.detect_masks` over processes.
+
+    Construction ships ``(circuit, faults)`` to every worker once;
+    :meth:`detect_masks` then accepts any sub-list of those faults (the
+    shrinking ``remaining`` lists of a verify pass) and returns masks in
+    the given order.  Degradation is always to the serial simulator:
+    when the pool cannot be created (restricted environments), when a
+    call has too few faults to amortize the IPC (``min_shard``), or
+    when a worker dies mid-call — the affected call is recomputed
+    serially and the pool is retired for the rest of the run.
+
+    The cooperative ambient :class:`~repro.runtime.abort.AbortToken` is
+    checked once per call in the parent; shard tasks are batch-sized
+    and short, so deadline resolution matches the serial path's
+    once-per-batch checks.  Kernel counters (``SIM_STATS``) accrue in
+    the worker processes and are not merged back — throughput stats
+    are only meaningful for serial runs.
+    """
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        faults: Sequence[Fault],
+        workers: int,
+        simulator: Optional[FaultSimulator] = None,
+        min_shard: int = 64,
+    ):
+        self.circuit = circuit
+        self.faults = list(faults)
+        self.workers = max(1, workers)
+        self.min_shard = max(1, min_shard)
+        self._simulator = simulator if simulator is not None else FaultSimulator(circuit)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._index_of: Dict[Fault, int] = {}
+        if self.workers > 1 and len(self.faults) > self.min_shard:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_shard_init,
+                    initargs=(circuit, self.faults),
+                )
+            except (OSError, PermissionError, ValueError):
+                self._pool = None  # no pool available: stay serial
+            else:
+                self._index_of = {fault: i for i, fault in enumerate(self.faults)}
+
+    def detect_masks(
+        self, good: RailBatch, pattern_count: int, faults: Sequence[Fault]
+    ) -> List[int]:
+        """Masks for ``faults`` (a sub-list of the pool's fault list)."""
+        get_abort().check()
+        fault_list = list(faults)
+        pool = self._pool
+        if pool is None or len(fault_list) < 2 * self.min_shard:
+            return self._simulator.detect_masks(good, pattern_count, fault_list)
+        indices = [self._index_of[fault] for fault in fault_list]
+        shard_size = -(-len(indices) // self.workers)
+        in_ones = [good.ones[i] for i in self.circuit.input_ids]
+        in_zeros = [good.zeros[i] for i in self.circuit.input_ids]
+        futures = [
+            pool.submit(
+                _shard_detect,
+                indices[start:start + shard_size],
+                in_ones,
+                in_zeros,
+                pattern_count,
+            )
+            for start in range(0, len(indices), shard_size)
+        ]
+        masks: List[int] = []
+        try:
+            for future in futures:
+                masks.extend(future.result())
+        except BrokenExecutor:
+            # A worker died mid-call: retire the pool and recompute the
+            # whole call serially — correctness over partial credit.
+            self.close()
+            return self._simulator.detect_masks(good, pattern_count, fault_list)
+        return masks
+
+    def close(self) -> None:
+        """Shut the pool down; further calls run serially."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "FaultShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def fault_coverage(
     circuit: CompiledCircuit,
     patterns: Sequence[Dict[int, Optional[int]]],
     faults: List[Fault],
     batch_size: int = 64,
+    workers: int = 1,
 ) -> float:
-    """Fraction of ``faults`` detected by ``patterns``."""
+    """Fraction of ``faults`` detected by ``patterns``.
+
+    ``workers`` > 1 shards the fault list across a process pool
+    (:class:`FaultShardPool`); results are bit-identical to the serial
+    sweep for any worker count.
+    """
     if not faults:
         raise ValueError("empty fault list")
     simulator = FaultSimulator(circuit)
     remaining = list(faults)
-    for start in range(0, len(patterns), batch_size):
-        batch = patterns[start:start + batch_size]
-        remaining, _ = simulator.drop_detected(batch, remaining)
-        if not remaining:
-            break
+    with FaultShardPool(circuit, faults, workers, simulator) as pool:
+        for start in range(0, len(patterns), batch_size):
+            batch = patterns[start:start + batch_size]
+            good, count = simulator.good_values(list(batch))
+            masks = pool.detect_masks(good, count, remaining)
+            remaining = [f for f, m in zip(remaining, masks) if not m]
+            if not remaining:
+                break
     return 1.0 - len(remaining) / len(faults)

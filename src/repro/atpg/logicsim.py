@@ -189,11 +189,47 @@ def simulate_flat(
     ``ones``/``zeros`` must cover the input nets (one entry per net
     id); values for all other nets are overwritten.  Returns the same
     two lists for convenience.
+
+    The opcode dispatch is inlined (one branch tree per gate instead of
+    an :data:`OP_EVAL` indirect call) — this sweep runs once per packed
+    batch and per accumulated PODEM pattern, and the per-gate call and
+    result-tuple overhead of the table dispatch is measurable there.
+    :data:`OP_EVAL` remains the reference the kernel tests check
+    against.
     """
     full = (1 << pattern_count) - 1
-    evals = OP_EVAL
     for op, out, ins in circuit.gate_table:
-        ones[out], zeros[out] = evals[op](ones, zeros, ins, full)
+        if OP_AND <= op <= OP_NOR:
+            if op <= OP_NAND:  # AND / NAND
+                o, z = full, 0
+                for i in ins:
+                    o &= ones[i]
+                    z |= zeros[i]
+                if op == OP_NAND:
+                    o, z = z, o
+            else:  # OR / NOR
+                o, z = 0, full
+                for i in ins:
+                    o |= ones[i]
+                    z &= zeros[i]
+                if op == OP_NOR:
+                    o, z = z, o
+        elif op <= OP_NOT:  # BUF / NOT
+            i = ins[0]
+            o, z = ones[i], zeros[i]
+            if op == OP_NOT:
+                o, z = z, o
+        else:  # XOR / XNOR
+            it = iter(ins)
+            i = next(it)
+            o, z = ones[i], zeros[i]
+            for i in it:
+                io, iz = ones[i], zeros[i]
+                o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+            if op == OP_XNOR:
+                o, z = z, o
+        ones[out] = o
+        zeros[out] = z
     return ones, zeros
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .compiled import CompiledCircuit
 
@@ -101,3 +101,56 @@ def random_pattern(
 ) -> TestPattern:
     """A fully specified random pattern."""
     return TestPattern({net_id: rng.getrandbits(1) for net_id in input_ids})
+
+
+def random_pattern_rails(
+    input_ids: Sequence[int],
+    rng: random.Random,
+    count: int,
+    net_count: int,
+) -> Tuple[List[int], List[int]]:
+    """Draw ``count`` random patterns directly as packed dual rails.
+
+    Returns flat ``(ones, zeros)`` lists sized for a whole circuit
+    (``net_count`` entries), with bit ``k`` of input net ``n`` set in
+    ``ones`` when pattern ``k`` drives ``n`` to 1 — exactly what
+    ``pack_patterns_flat`` would produce for ``count`` successive
+    :func:`random_pattern` calls, without materializing any per-pattern
+    dict.
+
+    RNG consumption contract: one ``rng.getrandbits(1)`` per
+    (pattern, input) pair, patterns outermost, inputs in ``input_ids``
+    order — bit-for-bit the order :func:`random_pattern` consumes, so a
+    shared ``Random`` instance advances identically through either
+    path.  ``tests/test_podem_kernel.py`` enforces both the rail
+    equality and the post-draw RNG state.
+    """
+    ones = [0] * net_count
+    zeros = [0] * net_count
+    getrandbits = rng.getrandbits
+    for bit in range(count):
+        mask = 1 << bit
+        for net_id in input_ids:
+            if getrandbits(1):
+                ones[net_id] |= mask
+    # Random patterns are fully specified, so the zeros rail is just the
+    # complement of the ones rail over the batch width.
+    full = (1 << count) - 1
+    for net_id in input_ids:
+        zeros[net_id] = ones[net_id] ^ full
+    return ones, zeros
+
+
+def pattern_from_rails(
+    input_ids: Sequence[int], ones: List[int], bit: int
+) -> TestPattern:
+    """Materialize packed pattern ``bit`` back into dict form.
+
+    Only fully specified rails (every input bit set in exactly one
+    rail) round-trip; the assignments dict lists inputs in ``input_ids``
+    order, matching what :func:`random_pattern` builds.
+    """
+    mask = 1 << bit
+    return TestPattern(
+        {net_id: 1 if ones[net_id] & mask else 0 for net_id in input_ids}
+    )

@@ -15,6 +15,20 @@ Two-input gates — the overwhelming majority — evaluate with a single
 precomputed 5x5 table lookup; wider gates fall back to the exact
 componentwise three-valued fold (pairwise five-valued folding is lossy
 for three or more inputs, see :mod:`repro.atpg.values`).
+
+The search itself runs on the *incremental* implication kernel
+(:class:`ImplicationKernel`): one full sweep seeds a persistent
+five-valued value array when a fault is targeted, and each PI decision
+afterwards propagates only through a levelized event worklist — the
+same discipline as the event-driven fault-simulation kernel — while an
+undo trail lets backtracking restore the exact prior state instead of
+resimulating the circuit.  Each decision therefore costs O(affected
+cone) instead of O(circuit).  The full-sweep :meth:`Podem._imply` is
+kept as the reference implementation; ``tests/test_podem_kernel.py``
+differentially enforces that the kernel's values, D-frontier, and
+detection flag match it at every decision point, and
+``Podem(circuit, incremental=False)`` still runs the search entirely on
+the reference sweep.
 """
 
 from __future__ import annotations
@@ -86,6 +100,12 @@ _KIND_BUF, _KIND_NOT, _KIND_PAIR, _KIND_FOLD = range(4)
 PODEM_CALLS = register_counter("podem.calls", "PODEM searches attempted")
 PODEM_BACKTRACKS = register_counter("podem.backtracks", "decision flips taken")
 PODEM_DECISIONS = register_counter("podem.decisions", "input decisions made")
+PODEM_EVENTS = register_counter(
+    "podem.events", "gate re-evaluations in the incremental implication kernel"
+)
+PODEM_UNDO_DEPTH = register_counter(
+    "podem.undo_depth", "implication trail entries unwound while backtracking"
+)
 
 
 class PodemOutcome(enum.Enum):
@@ -111,12 +131,306 @@ class _ImplyState:
     detected: bool
 
 
-class Podem:
-    """A reusable PODEM engine for one compiled circuit."""
+class ImplicationKernel:
+    """Persistent, event-driven five-valued implication for one search.
 
-    def __init__(self, circuit: CompiledCircuit, backtrack_limit: int = 100):
+    :meth:`begin` seeds the state with one reference-grade full sweep;
+    :meth:`assign` propagates a single new PI assignment through a
+    levelized event worklist, updating the value array, the D-frontier
+    membership, and the detected-output count only where gates actually
+    re-evaluated; :meth:`undo` pops the trail back to a checkpoint, so
+    backtracking restores the exact pre-decision state without any
+    resimulation.
+
+    Invariant (enforced differentially by ``tests/test_podem_kernel.py``):
+    after any sequence of assigns/undos, ``values``, ``frontier()`` and
+    ``detected`` equal what :meth:`Podem._imply` computes from scratch
+    for the same assignment dict — the kernel is a cache of the
+    reference sweep, never a different algorithm.
+    """
+
+    __slots__ = (
+        "_podem", "_circuit", "values", "_frontier_flag", "_frontier",
+        "_detected_outs", "_vtrail", "_ftrail", "_buckets", "_gate_epoch",
+        "_epoch", "_fault_net", "_stuck", "_branch_gate", "_branch_pin",
+        "_fault_gate", "events", "undo_entries",
+    )
+
+    def __init__(self, podem: "Podem"):
+        self._podem = podem
+        self._circuit = podem.circuit
+        gate_count = len(self._circuit.gates)
+        self.values: List[int] = []
+        self._frontier_flag = [False] * gate_count
+        self._frontier: set = set()
+        self._detected_outs = 0
+        self._vtrail: List[Tuple[int, int]] = []  # (net id, previous value)
+        self._ftrail: List[Tuple[int, bool]] = []  # (gate index, previous flag)
+        self._buckets: List[List[int]] = [
+            [] for _ in range(self._circuit.max_level + 1)
+        ]
+        self._gate_epoch = [0] * gate_count
+        self._epoch = 0
+        self._fault_net = -1
+        self._stuck = 0
+        self._branch_gate = -1
+        self._branch_pin = -1
+        self._fault_gate = -1
+        self.events = 0
+        self.undo_entries = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def begin(self, fault: Fault, assignments: Dict[int, int]) -> None:
+        """Target ``fault``: seed state with one reference sweep.
+
+        With no assignments (every primary target) the sweep is skipped
+        outright: all-X inputs imply all-X nets — ``_inject(X)`` is X,
+        every five-valued op maps all-X operands to X — so the reference
+        result is statically known to be (all-X, empty frontier, not
+        detected).
+        """
+        if assignments:
+            state = self._podem._imply(assignments, fault)
+            self.values = state.values
+            frontier = state.frontier
+            values = self.values
+            self._detected_outs = sum(
+                1
+                for net_id in self._circuit.output_ids
+                if values[net_id] >= _FAULTED_MIN
+            )
+        else:
+            self.values = [X] * self._circuit.net_count
+            frontier = ()
+            self._detected_outs = 0
+        flags = self._frontier_flag
+        for gate_index in self._frontier:
+            flags[gate_index] = False
+        self._frontier = set(frontier)
+        for gate_index in self._frontier:
+            flags[gate_index] = True
+        self._vtrail.clear()
+        self._ftrail.clear()
+        self._fault_net = fault.net
+        self._stuck = fault.stuck_at
+        self._branch_gate = fault.gate_index if fault.is_branch else -1
+        self._branch_pin = fault.pin
+        if self._branch_gate < 0:
+            self._fault_gate = self._circuit.driver_gate.get(fault.net, -1)
+        else:
+            self._fault_gate = -1
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def detected(self) -> bool:
+        return self._detected_outs > 0
+
+    def frontier(self) -> List[int]:
+        """The D-frontier in sweep order (ascending gate index).
+
+        Sorting the membership set reproduces exactly the list order the
+        reference full sweep appends in, so objective selection — a
+        ``min`` that breaks level ties by list position — is
+        bit-identical between the two implementations.
+        """
+        return sorted(self._frontier)
+
+    def state(self) -> _ImplyState:
+        """The current state in the reference sweep's result shape."""
+        return _ImplyState(
+            values=self.values, frontier=self.frontier(), detected=self.detected
+        )
+
+    def mark(self) -> Tuple[int, int]:
+        """A checkpoint token for :meth:`undo`."""
+        return (len(self._vtrail), len(self._ftrail))
+
+    # -- mutation --------------------------------------------------------
+
+    def assign(self, net_id: int, value: int) -> None:
+        """Apply one PI assignment and propagate its consequences."""
+        if self._branch_gate < 0 and net_id == self._fault_net:
+            value = _inject(value, self._stuck)
+        values = self.values
+        if values[net_id] == value:
+            return
+        self._set_value(net_id, value)
+
+        circuit = self._circuit
+        fan_start = circuit.fanout_start
+        fan_gates = circuit.fanout_gates
+        gate_levels = circuit.gate_levels
+        gate_epoch = self._gate_epoch
+        buckets = self._buckets
+        self._epoch += 1
+        epoch = self._epoch
+
+        pending = 0
+        level = circuit.max_level + 1
+        top_level = 0
+        for k in range(fan_start[net_id], fan_start[net_id + 1]):
+            g = fan_gates[k]
+            if gate_epoch[g] != epoch:
+                gate_epoch[g] = epoch
+                lvl = gate_levels[g]
+                buckets[lvl].append(g)
+                pending += 1
+                if lvl < level:
+                    level = lvl
+                if lvl > top_level:
+                    top_level = lvl
+
+        # Levelized event sweep: events travel to strictly higher
+        # levels, so each touched gate evaluates once, inputs final.
+        events = 0
+        table5 = self._podem._table5
+        frontier_flag = self._frontier_flag
+        while pending and level <= top_level:
+            bucket = buckets[level]
+            level += 1
+            if not bucket:
+                continue
+            for gate_index in bucket:
+                pending -= 1
+                events += 1
+                out_id, out, in_frontier = self._eval_gate(gate_index, table5)
+                if in_frontier != frontier_flag[gate_index]:
+                    self._ftrail.append((gate_index, frontier_flag[gate_index]))
+                    frontier_flag[gate_index] = in_frontier
+                    if in_frontier:
+                        self._frontier.add(gate_index)
+                    else:
+                        self._frontier.discard(gate_index)
+                if out == values[out_id]:
+                    continue  # output unchanged — fanout stays settled
+                self._set_value(out_id, out)
+                for k in range(fan_start[out_id], fan_start[out_id + 1]):
+                    g = fan_gates[k]
+                    if gate_epoch[g] != epoch:
+                        gate_epoch[g] = epoch
+                        lvl = gate_levels[g]
+                        buckets[lvl].append(g)
+                        pending += 1
+                        if lvl > top_level:
+                            top_level = lvl
+            del bucket[:]
+        self.events += events
+
+    def undo(self, mark: Tuple[int, int]) -> None:
+        """Restore the state checkpointed by :meth:`mark`."""
+        v_mark, f_mark = mark
+        values = self.values
+        is_output = self._podem._is_output
+        vtrail = self._vtrail
+        undone = len(vtrail) - v_mark
+        while len(vtrail) > v_mark:
+            net_id, previous = vtrail.pop()
+            if is_output[net_id]:
+                now_faulted = values[net_id] >= _FAULTED_MIN
+                was_faulted = previous >= _FAULTED_MIN
+                if now_faulted and not was_faulted:
+                    self._detected_outs -= 1
+                elif was_faulted and not now_faulted:
+                    self._detected_outs += 1
+            values[net_id] = previous
+        ftrail = self._ftrail
+        undone += len(ftrail) - f_mark
+        frontier_flag = self._frontier_flag
+        while len(ftrail) > f_mark:
+            gate_index, previous_flag = ftrail.pop()
+            frontier_flag[gate_index] = previous_flag
+            if previous_flag:
+                self._frontier.add(gate_index)
+            else:
+                self._frontier.discard(gate_index)
+        self.undo_entries += undone
+
+    # -- internals -------------------------------------------------------
+
+    def _set_value(self, net_id: int, value: int) -> None:
+        values = self.values
+        previous = values[net_id]
+        self._vtrail.append((net_id, previous))
+        values[net_id] = value
+        if self._podem._is_output[net_id]:
+            now_faulted = value >= _FAULTED_MIN
+            was_faulted = previous >= _FAULTED_MIN
+            if now_faulted and not was_faulted:
+                self._detected_outs += 1
+            elif was_faulted and not now_faulted:
+                self._detected_outs -= 1
+
+    def _eval_gate(self, gate_index: int, table5) -> Tuple[int, int, bool]:
+        """One gate's (output net, new value, frontier membership).
+
+        Mirrors the per-gate body of :meth:`Podem._imply` exactly,
+        including the stem-fault output injection and the branch-fault
+        pin override.
+        """
+        values = self.values
+        out_id, in_ids, kind, table, inv = table5[gate_index]
+        in_frontier = False
+        if gate_index == self._branch_gate:
+            sink: List[int] = []
+            out = self._podem._eval_branch_gate(
+                values, in_ids, kind, inv,
+                gate_index, self._branch_pin, self._stuck, sink.append,
+            )
+            in_frontier = bool(sink)
+        elif kind == _KIND_PAIR:
+            v0 = values[in_ids[0]]
+            v1 = values[in_ids[1]]
+            out = table[v0][v1]
+            if inv:
+                out = NOT_TABLE[out]
+            if out == X and (v0 >= _FAULTED_MIN or v1 >= _FAULTED_MIN):
+                in_frontier = True
+        elif kind == _KIND_BUF:
+            out = values[in_ids[0]]
+        elif kind == _KIND_NOT:
+            out = NOT_TABLE[values[in_ids[0]]]
+        else:
+            table3, identity = table
+            good = faulty = identity
+            faulted_input = False
+            for in_id in in_ids:
+                v = values[in_id]
+                if v >= _FAULTED_MIN:
+                    faulted_input = True
+                good = table3[good][GOOD_COMPONENT[v]]
+                faulty = table3[faulty][FAULTY_COMPONENT[v]]
+            out = COMPOSE3[good][faulty]
+            if inv:
+                out = NOT_TABLE[out]
+            if out == X and faulted_input:
+                in_frontier = True
+        if gate_index == self._fault_gate:
+            out = _inject(out, self._stuck)
+        return out_id, out, in_frontier
+
+
+class Podem:
+    """A reusable PODEM engine for one compiled circuit.
+
+    ``incremental`` selects the implication implementation: the default
+    event-driven kernel with an undo trail, or (``False``) the reference
+    full sweep per decision.  Both produce bit-identical searches — the
+    flag exists for differential testing and for measuring the kernel's
+    speedup.
+    """
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        backtrack_limit: int = 100,
+        incremental: bool = True,
+    ):
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
+        self.incremental = incremental
+        self._kernel: Optional[ImplicationKernel] = None
         self._input_set = set(circuit.input_ids)
         self._is_output = circuit.is_output_flag
         self._level = circuit.gate_levels
@@ -153,6 +467,9 @@ class Podem:
         pattern instead of opening a new one.  An UNTESTABLE outcome
         with ``frozen`` set means only "not under these constraints".
         """
+        kernel = self._kernel
+        events_before = kernel.events if kernel is not None else 0
+        undo_before = kernel.undo_entries if kernel is not None else 0
         result = self._generate(fault, frozen)
         tracer = get_tracer()
         if tracer.enabled:
@@ -161,9 +478,85 @@ class Podem:
                 tracer.count(PODEM_BACKTRACKS, result.backtracks)
             if result.decisions:
                 tracer.count(PODEM_DECISIONS, result.decisions)
+            kernel = self._kernel
+            if kernel is not None:
+                events = kernel.events - events_before
+                if events:
+                    tracer.count(PODEM_EVENTS, events)
+                undone = kernel.undo_entries - undo_before
+                if undone:
+                    tracer.count(PODEM_UNDO_DEPTH, undone)
         return result
 
     def _generate(
+        self, fault: Fault, frozen: Optional[Dict[int, int]] = None
+    ) -> PodemResult:
+        if self.incremental:
+            return self._generate_incremental(fault, frozen)
+        return self._generate_reference(fault, frozen)
+
+    def _generate_incremental(
+        self, fault: Fault, frozen: Optional[Dict[int, int]] = None
+    ) -> PodemResult:
+        """The search loop on the event-driven kernel.
+
+        Mirrors :meth:`_generate_reference` step for step; the only
+        difference is that implication state is updated in place
+        (assign) and checkpoint-restored (undo) instead of resimulated,
+        so the two paths make identical decisions in identical order.
+        """
+        assignments: Dict[int, int] = dict(frozen) if frozen else {}
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._kernel = ImplicationKernel(self)
+        kernel.begin(fault, assignments)
+        # (net_id, already flipped, trail checkpoint before the decision)
+        stack: List[Tuple[int, bool, Tuple[int, int]]] = []
+        backtracks = 0
+        decisions = 0
+        abort = get_abort()
+
+        while True:
+            abort.check()
+            if kernel.detected:
+                return PodemResult(
+                    PodemOutcome.DETECTED,
+                    TestPattern(dict(assignments)),
+                    backtracks,
+                    decisions,
+                )
+            state = kernel.state()
+            objective = None
+            if self._promising(state, fault):
+                objective = self._objective(state, fault)
+            if objective is not None:
+                pi, value = self._backtrace(objective, state.values)
+                if pi is not None:
+                    mark = kernel.mark()
+                    assignments[pi] = value
+                    kernel.assign(pi, value)
+                    stack.append((pi, False, mark))
+                    decisions += 1
+                    continue
+                # No X input reachable for the objective: treat as conflict.
+            backtracks += 1
+            abort.spend_backtracks(1)
+            if backtracks > self.backtrack_limit:
+                return PodemResult(PodemOutcome.ABORTED, None, backtracks, decisions)
+            while stack:
+                pi, flipped, mark = stack.pop()
+                kernel.undo(mark)
+                if flipped:
+                    del assignments[pi]
+                else:
+                    assignments[pi] = 1 - assignments[pi]
+                    kernel.assign(pi, assignments[pi])
+                    stack.append((pi, True, mark))
+                    break
+            else:
+                return PodemResult(PodemOutcome.UNTESTABLE, None, backtracks, decisions)
+
+    def _generate_reference(
         self, fault: Fault, frozen: Optional[Dict[int, int]] = None
     ) -> PodemResult:
         assignments: Dict[int, int] = dict(frozen) if frozen else {}

@@ -18,7 +18,7 @@ from ..runtime.abort import get_abort
 from .compiled import CompiledCircuit
 from .faults import Fault
 from .faultsim import FaultSimulator
-from .patterns import TestPattern, random_pattern
+from .patterns import TestPattern, pattern_from_rails, random_pattern_rails
 
 RANDOM_BATCHES = register_counter(
     "random_phase.batches", "random-pattern batches simulated"
@@ -77,17 +77,23 @@ def _run_batches(
     rng = random.Random(seed)
     result = RandomPhaseResult(remaining_faults=list(faults))
     abort = get_abort()
+    input_ids = circuit.input_ids
     while result.remaining_faults and result.batches < max_batches:
         abort.check()
-        batch = [random_pattern(circuit.input_ids, rng) for _ in range(batch_size)]
-        # Random patterns are fully specified over the input ids, so
-        # their assignment dicts are already the packer's trit maps.
-        good, count = simulator.good_values([p.assignments for p in batch])
+        # The batch is drawn directly in packed dual-rail form — same
+        # RNG stream as batch_size random_pattern() calls (the contract
+        # random_pattern_rails documents), with no per-pattern dicts and
+        # no pack_patterns_flat repack.  Only the handful of kept first
+        # detectors are materialized back into TestPattern form below.
+        ones, zeros = random_pattern_rails(
+            input_ids, rng, batch_size, circuit.net_count
+        )
+        good, count = simulator.good_values_rails(ones, zeros, batch_size)
         first_detector = [False] * count
         survivors = []
         detected_here = 0
-        for fault in result.remaining_faults:
-            mask = simulator.detect_mask(good, count, fault)
+        masks = simulator.detect_masks(good, count, result.remaining_faults)
+        for fault, mask in zip(result.remaining_faults, masks):
             if mask:
                 detected_here += 1
                 first_detector[(mask & -mask).bit_length() - 1] = True
@@ -97,7 +103,9 @@ def _run_batches(
         result.detected += detected_here
         result.remaining_faults = survivors
         result.patterns.extend(
-            pattern for keep, pattern in zip(first_detector, batch) if keep
+            pattern_from_rails(input_ids, good.ones, bit)
+            for bit, keep in enumerate(first_detector)
+            if keep
         )
         if detected_here < min_yield:
             break

@@ -30,6 +30,7 @@ from .core import decompose, soc_table, summarize
 from .experiments.runner import (
     EXPERIMENTS,
     add_runtime_arguments,
+    maybe_profile,
     report_runtime,
     run_experiment,
     runtime_from_args,
@@ -191,7 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        # maybe_profile is a no-op for subcommands without the shared
+        # runtime flags (no --profile attribute).
+        with maybe_profile(args):
+            return args.func(args)
     except BrokenPipeError:
         # Output piped into head/less and closed early — not an error.
         sys.stderr.close()

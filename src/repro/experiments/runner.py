@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from ..observability import register_counter
@@ -144,10 +145,40 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
              "so a killed run can be resumed",
     )
     parser.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="run under cProfile and dump pstats data to FILE "
+             "(parent process only; inspect with python -m pstats FILE)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="resume the run journaled in --run-dir: journaled jobs are "
              "skipped, output is bit-identical to an uninterrupted run",
     )
+
+
+@contextmanager
+def maybe_profile(args: argparse.Namespace):
+    """cProfile the enclosed block when ``--profile FILE`` was given.
+
+    The pstats dump lands on FILE even if the block raises, so a
+    profile of a run that died at its deadline is still inspectable.
+    Worker processes are not profiled — run with ``--workers 1`` to
+    see the whole flow in one profile.
+    """
+    path = getattr(args, "profile", None)
+    if not path:
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"[profile] wrote {path}", file=sys.stderr)
 
 
 def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> Runtime:
@@ -202,14 +233,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     runtime = runtime_from_args(args)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     seen = set()
-    for name in names:
-        # table3 and table4 share one runner; don't print it twice.
-        key = "itc02" if name in ("table3", "table4") else name
-        if key in seen:
-            continue
-        seen.add(key)
-        run_experiment(name, seed=args.seed, runtime=runtime)
-        print()
+    with maybe_profile(args):
+        for name in names:
+            # table3 and table4 share one runner; don't print it twice.
+            key = "itc02" if name in ("table3", "table4") else name
+            if key in seen:
+                continue
+            seen.add(key)
+            run_experiment(name, seed=args.seed, runtime=runtime)
+            print()
     report_runtime(runtime)
     return 0
 
