@@ -32,7 +32,7 @@ from .experiments.runner import (
     add_runtime_arguments,
     maybe_profile,
     report_runtime,
-    run_experiment,
+    run_experiments,
     runtime_from_args,
 )
 from .io import load_netlist, load_soc
@@ -113,14 +113,7 @@ def _cmd_itc02(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     runtime = runtime_from_args(args)
     names = EXPERIMENTS if args.name == "all" else (args.name,)
-    seen = set()
-    for name in names:
-        key = "itc02" if name in ("table3", "table4") else name
-        if key in seen:
-            continue
-        seen.add(key)
-        run_experiment(name, seed=args.seed, runtime=runtime)
-        print()
+    run_experiments(names, seed=args.seed, runtime=runtime)
     report_runtime(runtime)
     return 0
 

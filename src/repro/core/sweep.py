@@ -5,16 +5,27 @@ modular-testing benefit grows with pattern-count variation and shrinks
 with wrapper overhead.  These sweeps chart that design space with
 synthetic SOC families, which backs the correlation figure and the
 ablation benches.
+
+Since PR 6 the sweeps themselves are *declarative*: each ``sweep_*``
+helper builds a :class:`~repro.sweeps.spec.SweepSpec` (one grid axis
+plus the family's fixed knobs) and evaluates it through the generic
+:class:`~repro.sweeps.engine.SweepEngine`, which is where worker
+fan-out, chaos/retry policy, and per-shard checkpoint/resume live.
+The helpers keep their historical signatures and return the exact same
+:class:`SweepPoint` lists as before; pass ``runtime=`` to inherit a
+:class:`~repro.runtime.session.Runtime`'s execution policy.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..soc.model import Core, Soc
+from ..sweeps import Axis, SweepEngine, SweepPointSpec, SweepSpec, derive_seed
 from .analysis import SocAnalysis, analyze
+from .tdv import TdvSummary
 
 
 @dataclass(frozen=True)
@@ -23,6 +34,10 @@ class SweepPoint:
 
     parameter: float
     analysis: SocAnalysis
+
+
+def _pattern_factor(rng: random.Random, pattern_spread: float) -> float:
+    return rng.lognormvariate(0.0, pattern_spread) if pattern_spread else 1.0
 
 
 def synthetic_soc(
@@ -34,6 +49,7 @@ def synthetic_soc(
     io_per_core: int = 64,
     chip_io: int = 128,
     seed: int = 0,
+    core_seed_streams: bool = False,
 ) -> Soc:
     """Build a flat synthetic SOC with controlled pattern-count spread.
 
@@ -42,6 +58,14 @@ def synthetic_soc(
     with ``pattern_spread`` in [0, ~3].  Spread 0 gives identical counts
     (the g12710 regime); large spreads give a586710-like skew where one
     core dominates.
+
+    ``core_seed_streams=False`` (the default) draws every core's factor
+    from one sequential RNG — the historical behavior, kept so existing
+    fingerprints and tables stay byte-identical.  ``True`` derives an
+    independent stream per core index (:func:`~repro.sweeps.derive_seed`),
+    so core ``i``'s pattern count no longer depends on how many cores
+    precede it or on evaluation order — the contract population-scale
+    sweeps rely on.
     """
     if core_count < 1:
         raise ValueError("core_count must be >= 1")
@@ -49,7 +73,7 @@ def synthetic_soc(
         raise ValueError("mean_patterns must be >= 1")
     if pattern_spread < 0:
         raise ValueError("pattern_spread must be >= 0")
-    rng = random.Random(seed)
+    shared_rng = random.Random(seed)
     cores = [
         Core(
             name=f"{name}_top",
@@ -61,8 +85,12 @@ def synthetic_soc(
         )
     ]
     for i in range(core_count):
-        factor = rng.lognormvariate(0.0, pattern_spread) if pattern_spread else 1.0
-        patterns = max(1, round(mean_patterns * factor))
+        rng = (
+            random.Random(derive_seed(seed, "core", i))
+            if core_seed_streams
+            else shared_rng
+        )
+        patterns = max(1, round(mean_patterns * _pattern_factor(rng, pattern_spread)))
         cores.append(
             Core(
                 name=f"{name}_core{i}",
@@ -75,6 +103,90 @@ def synthetic_soc(
     return Soc(name, cores, top=cores[0].name)
 
 
+# -- record plumbing ---------------------------------------------------------
+#
+# The engine journals and aggregates plain JSON records; a SweepPoint's
+# analysis round-trips through one losslessly (every field is an int or
+# a repr-exact float), so resumed sweeps are bit-identical to fresh ones.
+
+_SUMMARY_FIELDS = (
+    "soc_name", "core_count", "monolithic_patterns", "tdv_monolithic",
+    "tdv_modular", "tdv_penalty", "tdv_benefit", "chip_io_residual",
+)
+
+
+def analysis_record(parameter: Any, soc: Soc) -> Dict[str, Any]:
+    """Analyze one synthetic SOC into the engine's record form."""
+    analysis = analyze(soc)
+    record: Dict[str, Any] = {
+        "parameter": parameter,
+        "pattern_variation": analysis.pattern_variation,
+    }
+    for field in _SUMMARY_FIELDS:
+        record[field] = getattr(analysis.summary, field)
+    return record
+
+
+def point_from_record(record: Mapping[str, Any]) -> SweepPoint:
+    """Rehydrate an :func:`analysis_record` into a :class:`SweepPoint`."""
+    summary = TdvSummary(**{field: record[field] for field in _SUMMARY_FIELDS})
+    return SweepPoint(
+        parameter=record["parameter"],
+        analysis=SocAnalysis(
+            summary=summary, pattern_variation=record["pattern_variation"]
+        ),
+    )
+
+
+def _run_family(
+    spec: SweepSpec,
+    evaluate: Callable[[SweepPointSpec], Dict[str, Any]],
+    runtime: Optional[Any],
+) -> List[SweepPoint]:
+    records = SweepEngine(runtime).run(spec, evaluate, collect=True).records
+    return [point_from_record(record) for record in records]
+
+
+# -- pattern-count variation -------------------------------------------------
+
+def pattern_variation_spec(
+    spreads: Sequence[float],
+    core_count: int = 10,
+    mean_patterns: int = 200,
+    scan_cells_per_core: int = 500,
+    io_per_core: int = 64,
+    seed: int = 0,
+) -> SweepSpec:
+    """The controlled family behind the Table-4 correlation claim."""
+    return SweepSpec(
+        name="pattern_variation",
+        axes=(Axis.grid("spread", spreads),),
+        seed=seed,
+        constants={
+            "core_count": core_count,
+            "mean_patterns": mean_patterns,
+            "scan_cells_per_core": scan_cells_per_core,
+            "io_per_core": io_per_core,
+            "seed": seed,
+        },
+    )
+
+
+def _evaluate_pattern_variation(point: SweepPointSpec) -> Dict[str, Any]:
+    params = point.params
+    spread = params["spread"]
+    soc = synthetic_soc(
+        name=f"sweep_spread_{spread:g}",
+        core_count=params["core_count"],
+        mean_patterns=params["mean_patterns"],
+        pattern_spread=spread,
+        scan_cells_per_core=params["scan_cells_per_core"],
+        io_per_core=params["io_per_core"],
+        seed=params["seed"],
+    )
+    return analysis_record(spread, soc)
+
+
 def sweep_pattern_variation(
     spreads: Sequence[float],
     core_count: int = 10,
@@ -82,25 +194,62 @@ def sweep_pattern_variation(
     scan_cells_per_core: int = 500,
     io_per_core: int = 64,
     seed: int = 0,
+    runtime: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """TDV reduction as a function of pattern-count spread.
 
     Reproduces, on a controlled family, the Table-4 observation that
     reduction tracks the normalized stdev of pattern counts.
     """
-    points = []
-    for spread in spreads:
-        soc = synthetic_soc(
-            name=f"sweep_spread_{spread:g}",
-            core_count=core_count,
-            mean_patterns=mean_patterns,
-            pattern_spread=spread,
-            scan_cells_per_core=scan_cells_per_core,
-            io_per_core=io_per_core,
-            seed=seed,
-        )
-        points.append(SweepPoint(parameter=spread, analysis=analyze(soc)))
-    return points
+    spec = pattern_variation_spec(
+        spreads,
+        core_count=core_count,
+        mean_patterns=mean_patterns,
+        scan_cells_per_core=scan_cells_per_core,
+        io_per_core=io_per_core,
+        seed=seed,
+    )
+    return _run_family(spec, _evaluate_pattern_variation, runtime)
+
+
+# -- wrapper overhead --------------------------------------------------------
+
+def wrapper_overhead_spec(
+    io_per_core_values: Sequence[int],
+    core_count: int = 10,
+    mean_patterns: int = 200,
+    pattern_spread: float = 1.0,
+    scan_cells_per_core: int = 500,
+    seed: int = 0,
+) -> SweepSpec:
+    """Per-core terminal count as the swept axis (g12710's regime)."""
+    return SweepSpec(
+        name="wrapper_overhead",
+        axes=(Axis.grid("io_per_core", io_per_core_values),),
+        seed=seed,
+        constants={
+            "core_count": core_count,
+            "mean_patterns": mean_patterns,
+            "pattern_spread": pattern_spread,
+            "scan_cells_per_core": scan_cells_per_core,
+            "seed": seed,
+        },
+    )
+
+
+def _evaluate_wrapper_overhead(point: SweepPointSpec) -> Dict[str, Any]:
+    params = point.params
+    io_per_core = params["io_per_core"]
+    soc = synthetic_soc(
+        name=f"sweep_io_{io_per_core}",
+        core_count=params["core_count"],
+        mean_patterns=params["mean_patterns"],
+        pattern_spread=params["pattern_spread"],
+        scan_cells_per_core=params["scan_cells_per_core"],
+        io_per_core=io_per_core,
+        seed=params["seed"],
+    )
+    return analysis_record(float(io_per_core), soc)
 
 
 def sweep_wrapper_overhead(
@@ -110,25 +259,65 @@ def sweep_wrapper_overhead(
     pattern_spread: float = 1.0,
     scan_cells_per_core: int = 500,
     seed: int = 0,
+    runtime: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """TDV reduction as a function of per-core wrapper-cell count.
 
     Charts the g12710 failure mode: when core I/O terminals rival scan
     cells, the isolation penalty can overwhelm the benefit.
     """
-    points = []
-    for io_per_core in io_per_core_values:
-        soc = synthetic_soc(
-            name=f"sweep_io_{io_per_core}",
-            core_count=core_count,
-            mean_patterns=mean_patterns,
-            pattern_spread=pattern_spread,
-            scan_cells_per_core=scan_cells_per_core,
-            io_per_core=io_per_core,
-            seed=seed,
-        )
-        points.append(SweepPoint(parameter=float(io_per_core), analysis=analyze(soc)))
-    return points
+    spec = wrapper_overhead_spec(
+        io_per_core_values,
+        core_count=core_count,
+        mean_patterns=mean_patterns,
+        pattern_spread=pattern_spread,
+        scan_cells_per_core=scan_cells_per_core,
+        seed=seed,
+    )
+    return _run_family(spec, _evaluate_wrapper_overhead, runtime)
+
+
+# -- partitioning granularity ------------------------------------------------
+
+def core_count_spec(
+    core_counts: Sequence[int],
+    mean_patterns: int = 200,
+    pattern_spread: float = 1.0,
+    scan_cells_per_core: int = 500,
+    io_per_core: int = 64,
+    seed: int = 0,
+) -> SweepSpec:
+    """Granularity at fixed total scan: Section 3's partitioning axis."""
+    for count in core_counts:
+        if count < 1:
+            raise ValueError("core counts must be >= 1")
+    return SweepSpec(
+        name="core_count",
+        axes=(Axis.grid("core_count", core_counts),),
+        seed=seed,
+        constants={
+            "mean_patterns": mean_patterns,
+            "pattern_spread": pattern_spread,
+            "scan_cells_per_core": scan_cells_per_core,
+            "io_per_core": io_per_core,
+            "seed": seed,
+        },
+    )
+
+
+def _evaluate_core_count(point: SweepPointSpec) -> Dict[str, Any]:
+    params = point.params
+    count = params["core_count"]
+    soc = synthetic_soc(
+        name=f"sweep_cores_{count}",
+        core_count=count,
+        mean_patterns=params["mean_patterns"],
+        pattern_spread=params["pattern_spread"],
+        scan_cells_per_core=max(1, params["scan_cells_per_core"] * 10 // count),
+        io_per_core=params["io_per_core"],
+        seed=params["seed"],
+    )
+    return analysis_record(float(count), soc)
 
 
 def sweep_core_count(
@@ -138,6 +327,7 @@ def sweep_core_count(
     scan_cells_per_core: int = 500,
     io_per_core: int = 64,
     seed: int = 0,
+    runtime: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """TDV reduction as a function of partitioning granularity.
 
@@ -145,22 +335,18 @@ def sweep_core_count(
     waste but is unrealistic due to wrapper overhead; this sweep shows
     the trade-off as granularity increases with total scan count fixed.
     """
-    points = []
-    for count in core_counts:
-        if count < 1:
-            raise ValueError("core counts must be >= 1")
-        soc = synthetic_soc(
-            name=f"sweep_cores_{count}",
-            core_count=count,
-            mean_patterns=mean_patterns,
-            pattern_spread=pattern_spread,
-            scan_cells_per_core=max(1, scan_cells_per_core * 10 // count),
-            io_per_core=io_per_core,
-            seed=seed,
-        )
-        points.append(SweepPoint(parameter=float(count), analysis=analyze(soc)))
-    return points
+    spec = core_count_spec(
+        core_counts,
+        mean_patterns=mean_patterns,
+        pattern_spread=pattern_spread,
+        scan_cells_per_core=scan_cells_per_core,
+        io_per_core=io_per_core,
+        seed=seed,
+    )
+    return _run_family(spec, _evaluate_core_count, runtime)
 
+
+# -- hierarchy ---------------------------------------------------------------
 
 def synthetic_hierarchical_soc(
     name: str,
@@ -224,10 +410,37 @@ def synthetic_hierarchical_soc(
     return Soc(name, list(reversed(cores)), top=f"{name}_top")
 
 
+def hierarchy_depth_spec(
+    depths: Sequence[int],
+    fanout: int = 2,
+    seed: int = 0,
+) -> SweepSpec:
+    """Embedding-tree depth as the swept axis."""
+    return SweepSpec(
+        name="hierarchy_depth",
+        axes=(Axis.grid("depth", depths),),
+        seed=seed,
+        constants={"fanout": fanout, "seed": seed},
+    )
+
+
+def _evaluate_hierarchy_depth(point: SweepPointSpec) -> Dict[str, Any]:
+    params = point.params
+    depth = params["depth"]
+    soc = synthetic_hierarchical_soc(
+        name=f"hier_d{depth}",
+        depth=depth,
+        fanout=params["fanout"],
+        seed=params["seed"],
+    )
+    return analysis_record(float(depth), soc)
+
+
 def sweep_hierarchy_depth(
     depths: Sequence[int],
     fanout: int = 2,
     seed: int = 0,
+    runtime: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """TDV behaviour as the embedding tree deepens at fixed core size.
 
@@ -235,14 +448,14 @@ def sweep_hierarchy_depth(
     ExTest costs, raising the penalty share — the hierarchical analogue
     of the wrapper-overhead sweep.
     """
-    points = []
-    for depth in depths:
-        soc = synthetic_hierarchical_soc(
-            name=f"hier_d{depth}", depth=depth, fanout=fanout, seed=seed
-        )
-        points.append(SweepPoint(parameter=float(depth), analysis=analyze(soc)))
-    return points
+    return _run_family(
+        hierarchy_depth_spec(depths, fanout=fanout, seed=seed),
+        _evaluate_hierarchy_depth,
+        runtime,
+    )
 
+
+# -- crossover search --------------------------------------------------------
 
 def crossover_spread(
     low: float = 0.0,
@@ -256,7 +469,8 @@ def crossover_spread(
     fraction crosses zero (penalty == benefit).  Below the returned
     spread the synthetic family behaves like g12710 (modular loses);
     above it modular wins.  Raises if the family does not bracket a
-    crossover in [low, high].
+    crossover in [low, high].  (Bisection is inherently sequential, so
+    this stays a direct computation rather than a sweep spec.)
     """
     if soc_factory is None:
         def soc_factory(spread: float) -> Soc:

@@ -22,6 +22,7 @@ from ..itc02.benchmarks import BENCHMARK_NAMES, load
 from ..soc.model import Soc
 from ..soc.shared_isolation import SharingPoint, breakeven_sharing, sharing_sweep
 from ..tam.idle_bits import IdleBitReport, idle_bit_sweep
+from .registry import experiment
 
 
 @dataclass
@@ -69,6 +70,7 @@ def idle_bit_ablation(
 
 def wrapper_overhead_ablation(
     io_values: Sequence[int] = (8, 32, 64, 128, 256, 512),
+    runtime: Optional["Runtime"] = None,
 ) -> List[SweepPoint]:
     """Vary per-core terminal counts: where does g12710's regime begin?
 
@@ -76,11 +78,12 @@ def wrapper_overhead_ablation(
     outnumbering scan cells; this sweep reproduces the crossover on a
     controlled family.
     """
-    return sweep_wrapper_overhead(io_values)
+    return sweep_wrapper_overhead(io_values, runtime=runtime)
 
 
 def granularity_ablation(
     core_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    runtime: Optional["Runtime"] = None,
 ) -> List[SweepPoint]:
     """Vary partitioning granularity at fixed total scan.
 
@@ -88,7 +91,7 @@ def granularity_ablation(
     is unrealistic "due to the area and data volume penalty"; the sweep
     shows the benefit/penalty trade-off as cores shrink.
     """
-    return sweep_core_count(core_counts)
+    return sweep_core_count(core_counts, runtime=runtime)
 
 
 @dataclass
@@ -143,6 +146,7 @@ def _render_sweep(points: List[SweepPoint], parameter_label: str) -> str:
     return format_table([parameter_label, "TDV reduction", "penalty share"], rows)
 
 
+@experiment("ablation", order=50)
 def run(
     verbose: bool = True,
     seed: Optional[int] = None,
@@ -151,12 +155,12 @@ def run(
     """CLI entry point: all three ablations.
 
     The ablations are analytic (published pattern counts, closed-form
-    sweeps) — ``seed``/``runtime`` are accepted for entry-point
-    uniformity and have no effect.
+    sweeps); the synthetic-family ones execute on the sweep engine
+    under ``runtime``, with byte-identical stdout either way.
     """
     idle = idle_bit_ablation()
-    overhead = wrapper_overhead_ablation()
-    granularity = granularity_ablation()
+    overhead = wrapper_overhead_ablation(runtime=runtime)
+    granularity = granularity_ablation(runtime=runtime)
     shared = shared_isolation_ablation()
     if verbose:
         print("Ablation 1: idle bits restored (d695)")

@@ -33,6 +33,7 @@ from ..itc02.paper_tables import (
 from ..runtime.executor import AtpgJob
 from ..runtime.session import Runtime, ensure_runtime
 from ..synth.generator import GeneratorSpec, generate_circuit
+from .registry import experiment
 
 
 @dataclass(frozen=True)
@@ -162,6 +163,7 @@ def compaction_demo(
     )
 
 
+@experiment("cone-example", order=10)
 def run(
     verbose: bool = True,
     seed: Optional[int] = None,

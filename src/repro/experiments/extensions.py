@@ -38,6 +38,7 @@ from ..itc02 import load
 from ..synth import GeneratorSpec, generate_circuit
 from ..tam import AbortOnFailStudy, core_specs_from_soc
 from ..tam import study as abort_study
+from .registry import experiment
 
 
 def bist_study(
@@ -253,6 +254,7 @@ def at_speed_study(seed: int = 7, runtime: Optional[Runtime] = None) -> AtSpeedS
     )
 
 
+@experiment("extensions", order=60)
 def run(
     verbose: bool = True,
     seed: Optional[int] = None,

@@ -26,6 +26,7 @@ from ..core.tdv import tdv_monolithic, tdv_monolithic_optimistic
 from ..itc02 import paper_tables
 from ..runtime.executor import AtpgJob
 from ..runtime.session import Runtime, ensure_runtime
+from .registry import experiment
 from ..soc.model import Core, Soc
 from ..synth.socgen import SocDesign, elaborate, soc1_design, soc2_design
 
@@ -201,3 +202,13 @@ def run(
               f"{experiment.pessimistic_reduction_ratio:.2f}x "
               f"(paper {reference['pessimistic_ratio']:.2f}x)")
     return experiment
+
+
+@experiment("table1", order=20)
+def _run_table1(seed: Optional[int] = None, runtime: Optional[Runtime] = None):
+    return run(table=1, seed=seed, runtime=runtime)
+
+
+@experiment("table2", order=21)
+def _run_table2(seed: Optional[int] = None, runtime: Optional[Runtime] = None):
+    return run(table=2, seed=seed, runtime=runtime)

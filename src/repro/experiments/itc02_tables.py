@@ -28,6 +28,7 @@ from ..itc02.paper_tables import (
 )
 from ..soc.hierarchy import core_tdv
 from ..soc.model import Soc
+from .registry import experiment
 
 
 @dataclass
@@ -142,6 +143,10 @@ def _averages(results: List[Table4Result]) -> Dict[str, float]:
     }
 
 
+# table3 and table4 share this one runner (group="itc02"), so ``all``
+# prints the combined report exactly once.
+@experiment("table3", order=30, group="itc02")
+@experiment("table4", order=31, group="itc02")
 def run(
     verbose: bool = True,
     seed: Optional[int] = None,

@@ -1,0 +1,95 @@
+"""Self-registering experiment table.
+
+Experiments used to be a hardcoded tuple in the runner plus a parallel
+if/elif dispatch; adding one meant editing three places.  Now each
+experiment module declares itself:
+
+.. code-block:: python
+
+    @experiment("correlation", order=40)
+    def run(verbose=True, seed=None, runtime=None):
+        ...
+
+and the runner derives its name list, its dispatch, and ``all``'s
+execution order from this registry.  ``order`` pins the position in
+``all`` (and in ``--help``) explicitly — registration happens at import
+time, so relying on import order would make the CLI's surface depend on
+which module some unrelated code touched first.
+
+``group`` marks experiments that share one underlying runner (table3
+and table4 both print the full ITC'02 report): ``all`` runs each group
+once.
+
+This module is a leaf — experiment modules import it, never the other
+way round — so the decorator can live next to the ``run()`` it
+registers without an import cycle through the runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+ExperimentRunner = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment: its CLI name, order, and runner."""
+
+    name: str
+    order: int
+    run: ExperimentRunner  # called as run(seed=..., runtime=...)
+    group: Optional[str] = None
+
+    @property
+    def dedupe_key(self) -> str:
+        """What ``all`` dedupes on: the group, or the name itself."""
+        return self.group or self.name
+
+
+_REGISTRY: Dict[str, ExperimentEntry] = {}
+
+
+def experiment(
+    name: str, *, order: int, group: Optional[str] = None
+) -> Callable[[ExperimentRunner], ExperimentRunner]:
+    """Register the decorated callable as experiment ``name``.
+
+    The callable must accept ``seed=`` and ``runtime=`` keyword
+    arguments.  Decorating two names onto one function (or two
+    functions with one ``group``) is how shared runners express
+    themselves.  Duplicate names and duplicate orders are registration
+    bugs, caught eagerly.
+    """
+    def register(run: ExperimentRunner) -> ExperimentRunner:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} registered twice")
+        for entry in _REGISTRY.values():
+            if entry.order == order:
+                raise ValueError(
+                    f"experiment {name!r} reuses order {order} "
+                    f"(held by {entry.name!r})"
+                )
+        _REGISTRY[name] = ExperimentEntry(
+            name=name, order=order, run=run, group=group
+        )
+        return run
+
+    return register
+
+
+def get(name: str) -> ExperimentEntry:
+    """The registered entry, or a ValueError naming the stranger."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment {name!r}") from None
+
+
+def names() -> Tuple[str, ...]:
+    """Every registered experiment name, in declared (order) sequence."""
+    return tuple(
+        entry.name
+        for entry in sorted(_REGISTRY.values(), key=lambda e: e.order)
+    )

@@ -11,8 +11,13 @@ Experiments map one-to-one to the paper's tables and figures:
 ``correlation``  reduction vs pattern-count variation (Section 5.2)
 ``ablation``     idle bits / wrapper overhead / granularity
 ``extensions``   BIST / compression / abort-on-fail follow-on studies
+``population``   Section 5.2's correlation at N=1000+ synthetic SOCs
 ``all``          everything above, in order
 ===============  ======================================================
+
+The table is not maintained by hand: each experiment module registers
+its entry point with :func:`repro.experiments.registry.experiment`,
+and ``EXPERIMENTS`` is derived from that registry at import time.
 
 Every experiment executes its ATPG through :mod:`repro.runtime`: the
 shared ``--workers`` / ``--cache-dir`` / ``--no-cache`` flags control
@@ -36,23 +41,23 @@ from __future__ import annotations
 import argparse
 import sys
 from contextlib import contextmanager
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..observability import register_counter
 from ..runtime.session import Runtime, ensure_runtime
-from . import (
+from . import (  # noqa: F401 — importing registers each experiment
     ablation,
     cone_example,
     correlation,
     extensions,
     iscas_socs,
     itc02_tables,
+    population,
 )
+from .registry import get as get_experiment
+from .registry import names as experiment_names
 
-EXPERIMENTS = (
-    "cone-example", "table1", "table2", "table3", "table4",
-    "correlation", "ablation", "extensions",
-)
+EXPERIMENTS = experiment_names()
 
 EXPERIMENT_RUNS = register_counter("experiments.runs", "experiments executed")
 
@@ -66,31 +71,35 @@ def run_experiment(
 
     The whole experiment runs under the runtime's tracer (if any), so
     even its non-runtime work lands inside one ``experiment`` span.
+    An unknown name raises ValueError.
     """
+    entry = get_experiment(name)
     runtime = ensure_runtime(runtime)
     with runtime.activate() as tracer:
         with tracer.span("experiment", name=name):
             tracer.count(EXPERIMENT_RUNS)
-            _dispatch(name, seed, runtime)
+            entry.run(seed=seed, runtime=runtime)
 
 
-def _dispatch(name: str, seed: Optional[int], runtime: Runtime) -> None:
-    if name == "cone-example":
-        cone_example.run(seed=seed, runtime=runtime)
-    elif name == "table1":
-        iscas_socs.run(table=1, seed=seed, runtime=runtime)
-    elif name == "table2":
-        iscas_socs.run(table=2, seed=seed, runtime=runtime)
-    elif name in ("table3", "table4"):
-        itc02_tables.run(seed=seed, runtime=runtime)
-    elif name == "correlation":
-        correlation.run(seed=seed, runtime=runtime)
-    elif name == "ablation":
-        ablation.run(seed=seed, runtime=runtime)
-    elif name == "extensions":
-        extensions.run(seed=seed, runtime=runtime)
-    else:
-        raise ValueError(f"unknown experiment {name!r}")
+def run_experiments(
+    names: Sequence[str],
+    seed: Optional[int] = None,
+    runtime: Optional[Runtime] = None,
+) -> None:
+    """Run several experiments, each followed by a blank line.
+
+    Experiments sharing one underlying runner (``table3``/``table4``,
+    which both print the combined ITC'02 report) run once per group,
+    not once per name — the behavior both CLIs used to hand-roll.
+    """
+    seen = set()
+    for name in names:
+        key = get_experiment(name).dedupe_key
+        if key in seen:
+            continue
+        seen.add(key)
+        run_experiment(name, seed=seed, runtime=runtime)
+        print()
 
 
 def _worker_count(text: str) -> int:
@@ -232,16 +241,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     runtime = runtime_from_args(args)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    seen = set()
     with maybe_profile(args):
-        for name in names:
-            # table3 and table4 share one runner; don't print it twice.
-            key = "itc02" if name in ("table3", "table4") else name
-            if key in seen:
-                continue
-            seen.add(key)
-            run_experiment(name, seed=args.seed, runtime=runtime)
-            print()
+        run_experiments(names, seed=args.seed, runtime=runtime)
     report_runtime(runtime)
     return 0
 

@@ -1,0 +1,48 @@
+"""Generic, resumable, streaming design-space sweeps.
+
+The package splits a sweep into four orthogonal pieces:
+
+* :mod:`repro.sweeps.spec` — *what* to sweep: named axes, grid /
+  random / latin-hypercube sampling, derived per-point seeds.
+* :mod:`repro.sweeps.engine` — *how* to run it: worker fan-out,
+  retry/chaos policy, and checkpoint/resume inherited from the
+  :class:`~repro.runtime.session.Runtime`.
+* :mod:`repro.sweeps.aggregate` — *what to keep*: incremental
+  statistics (mean/stdev, Pearson r, trend regression) and JSONL point
+  sinks, so population-scale sweeps never hold their points in memory.
+* :mod:`repro.sweeps.store` — *durability*: atomic per-shard journal
+  files plus a clock-free manifest, byte-identical across
+  kill-and-resume.
+
+The thin sweep helpers in :mod:`repro.core.sweep` and the experiments
+(``correlation``, ``ablation``, ``population``) are all built on this
+engine.
+"""
+
+from .aggregate import (
+    Aggregator,
+    BinnedMean,
+    FractionTrue,
+    JsonlPointSink,
+    RunningStats,
+    StreamingRegression,
+)
+from .engine import SweepEngine, SweepRunResult
+from .spec import Axis, SweepPointSpec, SweepSpec, derive_seed
+from .store import ShardStore
+
+__all__ = [
+    "Aggregator",
+    "Axis",
+    "BinnedMean",
+    "FractionTrue",
+    "JsonlPointSink",
+    "RunningStats",
+    "ShardStore",
+    "StreamingRegression",
+    "SweepEngine",
+    "SweepPointSpec",
+    "SweepRunResult",
+    "SweepSpec",
+    "derive_seed",
+]

@@ -1,0 +1,252 @@
+"""Streaming aggregation of sweep results.
+
+Population-scale sweeps produce thousands of point records; none of
+them should have to sit in memory to yield a correlation coefficient.
+An :class:`Aggregator` consumes one JSON-able record at a time (the
+engine feeds them strictly in point order, so a resumed run aggregates
+bit-identically to an uninterrupted one) and exposes its statistic
+incrementally:
+
+* :class:`RunningStats` — count/mean/stdev/min/max via Welford's
+  update, numerically stable at any N.
+* :class:`StreamingRegression` — Pearson r plus the least-squares
+  trend line (slope/intercept) from streaming co-moments; this is the
+  large-N version of the paper's Section 5.2 correlation check.
+* :class:`FractionTrue` — how often a boolean field holds (e.g. "does
+  modular testing win on this SOC?").
+* :class:`BinnedMean` — mean of ``y`` per bin of ``x``; the trend
+  table behind the regression.
+* :class:`JsonlPointSink` — every record as one JSONL line, rewritten
+  from scratch on resume so the file is byte-identical either way.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+
+class Aggregator:
+    """One streaming statistic over the sweep's point records.
+
+    Subclasses implement :meth:`add` and :meth:`result`; ``close`` is
+    called once by the engine after the last record (sinks flush
+    there).  Aggregators must be insensitive to *how* the sweep ran
+    (workers, shard size, resume) — the engine guarantees point order.
+    """
+
+    name = "aggregator"
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class RunningStats(Aggregator):
+    """Welford-streamed count/mean/stdev (sample) plus min/max."""
+
+    def __init__(self, field: str):
+        self.field = field
+        self.name = f"stats({field})"
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        value = float(record[self.field])
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (ddof=1), 0.0 below two points."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "field": self.field,
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+class StreamingRegression(Aggregator):
+    """Pearson r and least-squares y-on-x trend, one pass, O(1) memory."""
+
+    def __init__(self, x_field: str, y_field: str):
+        self.x_field = x_field
+        self.y_field = y_field
+        self.name = f"regression({y_field} ~ {x_field})"
+        self.count = 0
+        self._mean_x = 0.0
+        self._mean_y = 0.0
+        self._m2_x = 0.0
+        self._m2_y = 0.0
+        self._c_xy = 0.0
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        x = float(record[self.x_field])
+        y = float(record[self.y_field])
+        self.count += 1
+        dx = x - self._mean_x
+        self._mean_x += dx / self.count
+        self._m2_x += dx * (x - self._mean_x)
+        dy = y - self._mean_y
+        self._mean_y += dy / self.count
+        self._m2_y += dy * (y - self._mean_y)
+        # Co-moment: pre-update x-delta times post-update y-mean.
+        self._c_xy += dx * (y - self._mean_y)
+
+    @property
+    def pearson(self) -> float:
+        """Pearson correlation coefficient, clamped into [-1, 1]."""
+        if self.count < 2 or self._m2_x == 0 or self._m2_y == 0:
+            return 0.0
+        r = self._c_xy / math.sqrt(self._m2_x * self._m2_y)
+        return max(-1.0, min(1.0, r))
+
+    @property
+    def slope(self) -> float:
+        """Least-squares slope of y on x (the trend-direction check)."""
+        if self._m2_x == 0:
+            return 0.0
+        return self._c_xy / self._m2_x
+
+    @property
+    def intercept(self) -> float:
+        return self._mean_y - self.slope * self._mean_x
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "x": self.x_field,
+            "y": self.y_field,
+            "count": self.count,
+            "pearson": self.pearson,
+            "slope": self.slope,
+            "intercept": self.intercept,
+        }
+
+
+class FractionTrue(Aggregator):
+    """Fraction of records whose ``field`` is truthy."""
+
+    def __init__(self, field: str):
+        self.field = field
+        self.name = f"fraction({field})"
+        self.count = 0
+        self.true_count = 0
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        self.count += 1
+        if record[self.field]:
+            self.true_count += 1
+
+    @property
+    def fraction(self) -> float:
+        return self.true_count / self.count if self.count else 0.0
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "field": self.field,
+            "count": self.count,
+            "true": self.true_count,
+            "fraction": self.fraction,
+        }
+
+
+class BinnedMean(Aggregator):
+    """Mean of ``y_field`` per half-open bin of ``x_field``.
+
+    ``edges`` are the interior bin boundaries: ``[0.5, 1.0]`` makes the
+    bins ``x < 0.5``, ``0.5 <= x < 1.0``, ``x >= 1.0``.  Feeds the
+    human-readable trend table next to the regression numbers.
+    """
+
+    def __init__(self, x_field: str, y_field: str, edges: Sequence[float]):
+        if list(edges) != sorted(edges):
+            raise ValueError(f"bin edges must be ascending, got {list(edges)}")
+        self.x_field = x_field
+        self.y_field = y_field
+        self.edges = tuple(float(edge) for edge in edges)
+        self.name = f"bins({y_field} ~ {x_field})"
+        self.counts = [0] * (len(self.edges) + 1)
+        self.sums = [0.0] * (len(self.edges) + 1)
+
+    def _bin(self, x: float) -> int:
+        for k, edge in enumerate(self.edges):
+            if x < edge:
+                return k
+        return len(self.edges)
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        k = self._bin(float(record[self.x_field]))
+        self.counts[k] += 1
+        self.sums[k] += float(record[self.y_field])
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One row per bin: label, count, mean (None when empty)."""
+        bounds = (-math.inf,) + self.edges + (math.inf,)
+        rows = []
+        for k in range(len(self.counts)):
+            lo, hi = bounds[k], bounds[k + 1]
+            if lo == -math.inf:
+                label = f"< {hi:g}"
+            elif hi == math.inf:
+                label = f">= {lo:g}"
+            else:
+                label = f"{lo:g} - {hi:g}"
+            mean = self.sums[k] / self.counts[k] if self.counts[k] else None
+            rows.append({"bin": label, "count": self.counts[k], "mean": mean})
+        return rows
+
+    def result(self) -> Dict[str, Any]:
+        return {"x": self.x_field, "y": self.y_field, "rows": self.rows()}
+
+
+class JsonlPointSink(Aggregator):
+    """Every point record as one sorted-keys JSON line.
+
+    The file opens lazily in write mode on the first record, so a
+    resumed run — which replays journaled points from the start —
+    rewrites it from scratch and lands on bytes identical to an
+    uninterrupted run's.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.name = f"jsonl({self.path.name})"
+        self.count = 0
+        self._handle: Optional[Any] = None
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w")
+        self._handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+        self.count += 1
+
+    def result(self) -> Dict[str, Any]:
+        return {"path": str(self.path), "count": self.count}
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

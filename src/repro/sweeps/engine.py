@@ -1,0 +1,416 @@
+"""The generic sweep engine: spec in, streamed aggregates out.
+
+:class:`SweepEngine` expands a :class:`~repro.sweeps.spec.SweepSpec`
+into point evaluations and runs them with the execution machinery the
+:class:`~repro.runtime.session.Runtime` already provides — worker
+fan-out, chaos injection, retry policy, per-shard checkpoint/resume,
+and observability counters — without knowing anything about what a
+point *computes*.  The evaluator is any picklable module-level callable
+``evaluate(point: SweepPointSpec) -> dict`` returning a JSON-able
+record; everything downstream (journaling, aggregation, the JSONL
+sink) consumes those records uniformly.
+
+Determinism contract: point seeds are derived, not drawn, and records
+are journaled at shard granularity but **aggregated strictly in shard
+order**, so serial, parallel, and killed-and-resumed runs all produce
+byte-identical aggregate statistics.  Worker processes only ever see
+whole shards; a shard lost to a crashed worker is retried under the
+runtime's :class:`~repro.runtime.policy.ExecutionPolicy` (fresh pool,
+same points, same seeds).
+
+The engine is deliberately a *leaf* dependency — it imports only
+:mod:`repro.errors` and :mod:`repro.observability` — so low layers
+like :mod:`repro.core.sweep` can build on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..errors import ConfigError, JobFailure, JobRetriesExhaustedError
+from ..observability import get_tracer, register_counter
+from .aggregate import Aggregator
+from .spec import SweepPointSpec, SweepSpec
+from .store import ShardStore
+
+SWEEP_POINTS = register_counter("sweeps.points", "sweep points evaluated")
+SWEEP_SHARDS = register_counter("sweeps.shards", "sweep shards executed")
+SWEEP_RETRIES = register_counter("sweeps.retries", "sweep shard retry attempts")
+
+Evaluator = Callable[[SweepPointSpec], Dict[str, Any]]
+
+
+class _ShardTask(NamedTuple):
+    """Everything one shard attempt needs on the far side of a pickle."""
+
+    index: int
+    evaluate: Evaluator
+    points: List[SweepPointSpec]
+    chaos: Optional[Any]  # ChaosConfig, duck-typed to keep this module leaf
+    attempt: int
+    in_pool: bool
+
+
+def _evaluate_shard(task: _ShardTask) -> List[Dict[str, Any]]:
+    """Worker entry point (module-level so it pickles).
+
+    The chaos hook fires before the first evaluation, with the shard as
+    the job — so an injected hang/crash/flake hits sweeps exactly the
+    way it hits ATPG jobs, and the same retry policy recovers it.
+    """
+    if task.chaos is not None:
+        task.chaos.on_job_start(
+            f"shard-{task.index}", task.attempt, task.in_pool
+        )
+    records = []
+    for point in task.points:
+        record = task.evaluate(point)
+        records.append(dict(record))
+    return records
+
+
+@dataclass
+class SweepRunResult:
+    """What one :meth:`SweepEngine.run` did, and what it measured."""
+
+    spec_name: str
+    point_count: int
+    shard_count: int
+    executed_shards: int
+    resumed_shards: int
+    workers: int
+    aggregates: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    records: Optional[List[Dict[str, Any]]] = None  # only with collect=True
+
+    def summary(self) -> str:
+        return (
+            f"{self.spec_name}: {self.point_count} points in "
+            f"{self.shard_count} shards ({self.executed_shards} executed, "
+            f"{self.resumed_shards} resumed, workers={self.workers})"
+        )
+
+
+class _NeutralRuntime:
+    """The do-nothing stand-in when no Runtime was given: serial,
+    unjournaled, ambient tracer, default policy."""
+
+    workers = 1
+    policy = None
+    journal = None
+
+    def activate(self):
+        from contextlib import nullcontext
+
+        return nullcontext(get_tracer())
+
+
+class SweepEngine:
+    """Runs sweep specs through the runtime's execution machinery.
+
+    ``runtime`` supplies the worker count, the retry/chaos policy, the
+    tracer, and — when it journals to a run directory — the shard
+    store location (``RUN_DIR/sweeps/<spec name>/``) and the resume
+    flag.  ``shard_size`` balances journal granularity against fan-out
+    overhead: a killed run loses at most one shard of work per worker.
+    """
+
+    def __init__(self, runtime: Optional[Any] = None, shard_size: int = 64):
+        if shard_size < 1:
+            raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
+        self.runtime = runtime if runtime is not None else _NeutralRuntime()
+        self.shard_size = shard_size
+
+    # -- store resolution ------------------------------------------------
+
+    def _store_for(
+        self,
+        spec: SweepSpec,
+        store_dir: Optional[Union[str, Any]],
+        resume: bool,
+    ) -> Optional[ShardStore]:
+        if store_dir is not None:
+            return ShardStore(store_dir, spec.fingerprint(), resume=resume)
+        journal = getattr(self.runtime, "journal", None)
+        if journal is None:
+            return None
+        return ShardStore(
+            journal.directory / "sweeps" / spec.name,
+            spec.fingerprint(),
+            resume=journal.resume,
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        spec: SweepSpec,
+        evaluate: Evaluator,
+        aggregators: Sequence[Aggregator] = (),
+        collect: bool = False,
+        store_dir: Optional[Union[str, Any]] = None,
+        resume: bool = False,
+    ) -> SweepRunResult:
+        """Evaluate every point; stream records through the aggregators.
+
+        Records reach the aggregators strictly in point order no matter
+        how execution interleaves.  With ``collect=True`` the records
+        also come back as a list (small sweeps); leave it off for
+        population-scale runs so nothing accumulates in memory beyond
+        the aggregator state.  ``store_dir``/``resume`` override the
+        runtime journal's shard directory (used by tests and
+        benchmarks); normally the run directory provides both.
+        """
+        points = list(spec.points())
+        shards = [
+            points[start:start + self.shard_size]
+            for start in range(0, len(points), self.shard_size)
+        ]
+        store = self._store_for(spec, store_dir, resume)
+        policy = getattr(self.runtime, "policy", None)
+        workers = getattr(self.runtime, "workers", 1)
+        max_attempts = policy.max_attempts if policy is not None else 3
+        chaos = None
+        if policy is not None and policy.chaos.enabled:
+            chaos = policy.chaos
+
+        recalled: Dict[int, List[Dict[str, Any]]] = {}
+        if store is not None:
+            for index in range(len(shards)):
+                records = store.get(index)
+                if records is not None:
+                    recalled[index] = records
+        pending = [index for index in range(len(shards)) if index not in recalled]
+
+        result = SweepRunResult(
+            spec_name=spec.name,
+            point_count=len(points),
+            shard_count=len(shards),
+            executed_shards=len(pending),
+            resumed_shards=len(recalled),
+            workers=workers,
+            records=[] if collect else None,
+        )
+
+        with self.runtime.activate() as tracer:
+            with tracer.span(
+                "sweep", name=spec.name, points=len(points), shards=len(shards)
+            ):
+                flush_state = {"next": 0}
+
+                def flush(ready: Dict[int, List[Dict[str, Any]]]) -> None:
+                    """Feed aggregators every shard that is next in order."""
+                    while flush_state["next"] in ready:
+                        index = flush_state["next"]
+                        records = ready.pop(index)
+                        for record in records:
+                            for aggregator in aggregators:
+                                aggregator.add(record)
+                        if collect:
+                            result.records.extend(records)
+                        if store is not None:
+                            store.note(index, len(records))
+                            store.write_manifest(spec.describe())
+                        flush_state["next"] += 1
+
+                ready = dict(recalled)
+                flush(ready)
+
+                def on_ready(index: int, records: List[Dict[str, Any]]) -> None:
+                    # Journal-first: the shard is durable before its
+                    # records influence any aggregate, so a kill between
+                    # the two replays identically on resume.
+                    if store is not None:
+                        store.record(index, records)
+                    if tracer.enabled:
+                        tracer.count(SWEEP_SHARDS)
+                        tracer.count(SWEEP_POINTS, len(records))
+                    ready[index] = records
+                    flush(ready)
+
+                if pending:
+                    self._execute(
+                        shards, pending, evaluate, workers, max_attempts,
+                        chaos, policy, tracer, on_ready,
+                    )
+
+                if flush_state["next"] != len(shards):
+                    raise RuntimeError(
+                        f"sweep {spec.name!r}: only {flush_state['next']} of "
+                        f"{len(shards)} shards flushed"
+                    )
+                for aggregator in aggregators:
+                    aggregator.close()
+                if store is not None:
+                    store.write_manifest(spec.describe())
+                    result.resumed_shards = store.resumed_shards
+
+        result.aggregates = {
+            aggregator.name: aggregator.result() for aggregator in aggregators
+        }
+        return result
+
+    def _execute(
+        self,
+        shards: List[List[SweepPointSpec]],
+        pending: List[int],
+        evaluate: Evaluator,
+        workers: int,
+        max_attempts: int,
+        chaos: Optional[Any],
+        policy: Optional[Any],
+        tracer,
+        on_ready: Callable[[int, List[Dict[str, Any]]], None],
+    ) -> None:
+        """Evaluate the pending shards, serially or across a pool."""
+        if workers <= 1 or len(pending) == 1:
+            for index in pending:
+                on_ready(
+                    index,
+                    self._run_serial(
+                        index, shards[index], evaluate, max_attempts,
+                        chaos, policy, tracer,
+                    ),
+                )
+            return
+        try:
+            self._run_pool(
+                shards, pending, evaluate, workers, max_attempts,
+                chaos, policy, tracer, on_ready,
+            )
+        except (OSError, PermissionError):
+            # No process pool available (sandboxed/limited
+            # environments): same records, just serial.
+            for index in pending:
+                on_ready(
+                    index,
+                    self._run_serial(
+                        index, shards[index], evaluate, max_attempts,
+                        chaos, policy, tracer,
+                    ),
+                )
+
+    def _run_serial(
+        self,
+        index: int,
+        points: List[SweepPointSpec],
+        evaluate: Evaluator,
+        max_attempts: int,
+        chaos: Optional[Any],
+        policy: Optional[Any],
+        tracer,
+    ) -> List[Dict[str, Any]]:
+        last: Optional[JobFailure] = None
+        for attempt in range(max_attempts):
+            if attempt and policy is not None:
+                backoff = policy.backoff_for_round(attempt)
+                if backoff > 0:
+                    time.sleep(backoff)
+            try:
+                return _evaluate_shard(_ShardTask(
+                    index=index, evaluate=evaluate, points=points,
+                    chaos=chaos, attempt=attempt, in_pool=False,
+                ))
+            except JobFailure as exc:
+                last = exc
+                if tracer.enabled:
+                    tracer.count(SWEEP_RETRIES)
+        raise JobRetriesExhaustedError(
+            f"sweep shard {index} still failing after {max_attempts} "
+            f"attempts: {type(last).__name__}: {last}"
+        ) from last
+
+    def _run_pool(
+        self,
+        shards: List[List[SweepPointSpec]],
+        pending: List[int],
+        evaluate: Evaluator,
+        workers: int,
+        max_attempts: int,
+        chaos: Optional[Any],
+        policy: Optional[Any],
+        tracer,
+        on_ready: Callable[[int, List[Dict[str, Any]]], None],
+    ) -> None:
+        """Windowed pool fan-out with per-shard retry.
+
+        At most ``4 x workers`` shards are in flight, so completion
+        (and therefore aggregation and journaling) tracks submission
+        order closely and memory stays bounded on huge sweeps.  A
+        broken pool (worker crash, injected or real) is rebuilt; only
+        the shards whose futures it swallowed are charged an attempt.
+        """
+        effective = min(workers, len(pending))
+        window = effective * 4
+        queue = deque(pending)
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        pool = ProcessPoolExecutor(max_workers=effective)
+        in_flight: Dict[Any, int] = {}
+
+        def submit(index: int) -> None:
+            task = _ShardTask(
+                index=index, evaluate=evaluate, points=shards[index],
+                chaos=chaos, attempt=attempts[index], in_pool=True,
+            )
+            attempts[index] += 1
+            in_flight[pool.submit(_evaluate_shard, task)] = index
+
+        try:
+            while queue and len(in_flight) < window:
+                submit(queue.popleft())
+            while in_flight:
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                rebuild = False
+                for future in done:
+                    index = in_flight.pop(future)
+                    try:
+                        on_ready(index, future.result())
+                        continue
+                    except BrokenExecutor:
+                        rebuild = True
+                        failure: JobFailure = JobFailure(
+                            f"worker process died while evaluating sweep "
+                            f"shard {index}"
+                        )
+                    except JobFailure as exc:
+                        failure = exc
+                    if attempts[index] >= max_attempts:
+                        raise JobRetriesExhaustedError(
+                            f"sweep shard {index} still failing after "
+                            f"{attempts[index]} attempts: "
+                            f"{type(failure).__name__}: {failure}"
+                        ) from failure
+                    if tracer.enabled:
+                        tracer.count(SWEEP_RETRIES)
+                    queue.append(index)
+                if rebuild:
+                    # The broken pool poisons every queued future; pull
+                    # the survivors back into the queue (no attempt
+                    # charged — they never ran) and start fresh.
+                    for future, index in list(in_flight.items()):
+                        queue.append(index)
+                        attempts[index] -= 1
+                    in_flight.clear()
+                    pool.shutdown(wait=False)
+                    pool = ProcessPoolExecutor(max_workers=effective)
+                while queue and len(in_flight) < window:
+                    submit(queue.popleft())
+        finally:
+            pool.shutdown(wait=False)

@@ -1,0 +1,259 @@
+"""Declarative sweep specifications: named axes, sampling, seeds.
+
+A :class:`SweepSpec` describes a design-space sweep without running it:
+named :class:`Axis` values (an explicit grid, or a distribution for
+random/latin sampling), a sampling mode, and a base seed from which
+every point derives its own independent seed.  The spec is pure data —
+expanding it with :meth:`SweepSpec.points` is deterministic and cheap,
+so engines, journals, and resume logic can all re-derive the exact same
+point list from the spec alone.
+
+Seed derivation is hash-based (:func:`derive_seed`), not sequential
+draws from one RNG, so any point (and, downstream, any per-core stream
+inside a point) can be evaluated in isolation, out of order, or on a
+different worker and still see exactly the bits it would have seen in a
+serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
+
+from ..errors import ConfigError
+
+SAMPLING_MODES = ("grid", "random", "latin")
+
+
+def derive_seed(*parts: Any) -> int:
+    """A stable 63-bit seed derived from arbitrary labelled parts.
+
+    SHA-256 over the repr of the parts, so the stream is independent of
+    Python's hash randomization and identical across processes and
+    platforms.  Used for per-point seeds (``derive_seed(base, name,
+    index)``) and per-core streams inside synthetic generators.
+    """
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named sweep dimension.
+
+    ``values`` axes enumerate an explicit grid (the only kind a
+    ``sampling="grid"`` spec accepts; under random/latin sampling they
+    behave as a uniform choice).  Distribution axes (``uniform``,
+    ``log_uniform``, ``integers``) map a unit draw onto their range.
+    Use the constructors — the raw dataclass fields are an encoding.
+    """
+
+    name: str
+    kind: str  # "values" | "uniform" | "loguniform" | "integers"
+    values: Tuple[Any, ...] = ()
+    low: float = 0.0
+    high: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("axis name must be non-empty")
+        if self.kind not in ("values", "uniform", "loguniform", "integers"):
+            raise ConfigError(f"unknown axis kind {self.kind!r}")
+        if self.kind == "values":
+            if not self.values:
+                raise ConfigError(f"axis {self.name!r}: empty value list")
+        else:
+            if not self.high > self.low:
+                raise ConfigError(
+                    f"axis {self.name!r}: need high > low, got "
+                    f"[{self.low}, {self.high}]"
+                )
+            if self.kind == "loguniform" and self.low <= 0:
+                raise ConfigError(
+                    f"axis {self.name!r}: log-uniform needs low > 0, "
+                    f"got {self.low}"
+                )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def grid(cls, name: str, values: Sequence[Any]) -> "Axis":
+        """An explicit list of settings, swept in the given order."""
+        return cls(name=name, kind="values", values=tuple(values))
+
+    @classmethod
+    def uniform(cls, name: str, low: float, high: float) -> "Axis":
+        """Continuous uniform on ``[low, high)``."""
+        return cls(name=name, kind="uniform", low=float(low), high=float(high))
+
+    @classmethod
+    def log_uniform(cls, name: str, low: float, high: float) -> "Axis":
+        """Log-uniform on ``[low, high)`` — uniform in the exponent."""
+        return cls(name=name, kind="loguniform", low=float(low), high=float(high))
+
+    @classmethod
+    def integers(cls, name: str, low: int, high: int) -> "Axis":
+        """Uniform integers on the inclusive range ``[low, high]``."""
+        return cls(name=name, kind="integers", low=float(low), high=float(high))
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self, u: float) -> Any:
+        """Map one unit draw ``u`` in [0, 1) onto this axis."""
+        if self.kind == "values":
+            return self.values[min(int(u * len(self.values)), len(self.values) - 1)]
+        if self.kind == "uniform":
+            return self.low + (self.high - self.low) * u
+        if self.kind == "loguniform":
+            lo, hi = math.log(self.low), math.log(self.high)
+            return math.exp(lo + (hi - lo) * u)
+        # integers: inclusive range
+        span = int(self.high) - int(self.low) + 1
+        return int(self.low) + min(int(u * span), span - 1)
+
+    def describe(self) -> Dict[str, Any]:
+        """A canonical JSON-able description (spec fingerprints)."""
+        if self.kind == "values":
+            return {"name": self.name, "kind": self.kind,
+                    "values": list(self.values)}
+        return {"name": self.name, "kind": self.kind,
+                "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class SweepPointSpec:
+    """One point of an expanded sweep: where, with what, under what seed.
+
+    ``params`` holds one value per axis plus the spec's constants;
+    ``seed`` is this point's private seed, derived — not drawn — so the
+    point is evaluable in isolation.
+    """
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: axes x sampling x seed.
+
+    ``sampling="grid"`` walks the cartesian product of the axis value
+    lists in declaration order (first axis slowest).  ``"random"``
+    draws ``samples`` independent points; ``"latin"`` stratifies each
+    axis into ``samples`` bins and permutes them (latin hypercube), so
+    every axis is evenly covered even at small N.  Random draws come
+    from a *per-axis* RNG seeded off the axis name, so adding or
+    removing one axis never changes the values sampled on another.
+
+    ``constants`` are merged into every point's params — the fixed
+    knobs of the family the sweep varies around.
+    """
+
+    name: str
+    axes: Tuple[Axis, ...]
+    sampling: str = "grid"
+    samples: int = 0  # required (>= 1) for random/latin; ignored for grid
+    seed: int = 0
+    constants: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("sweep name must be non-empty")
+        if self.sampling not in SAMPLING_MODES:
+            raise ConfigError(
+                f"unknown sampling {self.sampling!r}; "
+                f"choose from {SAMPLING_MODES}"
+            )
+        if not self.axes:
+            raise ConfigError(f"sweep {self.name!r}: need at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"sweep {self.name!r}: duplicate axis names")
+        clash = set(names) & set(self.constants)
+        if clash:
+            raise ConfigError(
+                f"sweep {self.name!r}: constants shadow axes: {sorted(clash)}"
+            )
+        if self.sampling == "grid":
+            bad = [a.name for a in self.axes if a.kind != "values"]
+            if bad:
+                raise ConfigError(
+                    f"sweep {self.name!r}: grid sampling needs explicit "
+                    f"value lists; distribution axes: {bad}"
+                )
+        elif self.samples < 1:
+            raise ConfigError(
+                f"sweep {self.name!r}: {self.sampling} sampling needs "
+                f"samples >= 1, got {self.samples}"
+            )
+
+    @property
+    def point_count(self) -> int:
+        if self.sampling == "grid":
+            count = 1
+            for axis in self.axes:
+                count *= len(axis.values)
+            return count
+        return self.samples
+
+    def _axis_rng(self, axis: Axis) -> random.Random:
+        return random.Random(derive_seed(self.seed, self.name, "axis", axis.name))
+
+    def _axis_draws(self, axis: Axis) -> Sequence[float]:
+        """The unit draws of one axis, for every point, independently."""
+        rng = self._axis_rng(axis)
+        n = self.samples
+        if self.sampling == "random":
+            return [rng.random() for _ in range(n)]
+        # latin: one jittered draw per stratum, strata order permuted.
+        strata = list(range(n))
+        rng.shuffle(strata)
+        return [(stratum + rng.random()) / n for stratum in strata]
+
+    def points(self) -> Iterator[SweepPointSpec]:
+        """Expand the spec into its point list, deterministically."""
+        if self.sampling == "grid":
+            combos: Iterator[Tuple[Any, ...]] = itertools.product(
+                *(axis.values for axis in self.axes)
+            )
+        else:
+            draws = [self._axis_draws(axis) for axis in self.axes]
+            combos = (
+                tuple(
+                    axis.sample(draws[k][i])
+                    for k, axis in enumerate(self.axes)
+                )
+                for i in range(self.samples)
+            )
+        for index, combo in enumerate(combos):
+            params = dict(self.constants)
+            for axis, value in zip(self.axes, combo):
+                params[axis.name] = value
+            yield SweepPointSpec(
+                index=index,
+                params=params,
+                seed=derive_seed(self.seed, self.name, "point", index),
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able form — what the journal manifest records."""
+        return {
+            "name": self.name,
+            "axes": [axis.describe() for axis in self.axes],
+            "sampling": self.sampling,
+            "samples": self.samples,
+            "seed": self.seed,
+            "constants": dict(self.constants),
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of the spec — guards resumed runs against mixing
+        shards of a *different* sweep into this one's aggregates."""
+        text = json.dumps(self.describe(), sort_keys=True, default=repr)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]

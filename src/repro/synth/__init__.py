@@ -1,6 +1,12 @@
 """Synthetic circuit generation with ISCAS'89 profiles; SOC1/SOC2 assembly."""
 
 from .generator import GeneratorSpec, generate_circuit
+from .population import (
+    evaluate_population_point,
+    population_spec,
+    profile_io_bounds,
+    profile_scan_bounds,
+)
 from .profiles import ISCAS89_PROFILES, CircuitProfile, profile
 from .socgen import SocDesign, Wire, elaborate, soc1_design, soc2_design
 
@@ -11,8 +17,12 @@ __all__ = [
     "SocDesign",
     "Wire",
     "elaborate",
+    "evaluate_population_point",
     "generate_circuit",
+    "population_spec",
     "profile",
+    "profile_io_bounds",
+    "profile_scan_bounds",
     "soc1_design",
     "soc2_design",
 ]

@@ -1,0 +1,120 @@
+"""Population-scale synthetic SOC sampling, profile-matched.
+
+The paper correlates TDV reduction with pattern-count variation over
+its ten benchmark SOCs (Section 5.2, Table 4) — a suggestive but tiny
+sample.  This module defines the large-N version: a latin-hypercube
+population of synthetic SOCs whose *per-core shapes* stay inside the
+envelope of the ISCAS'89 profiles the rest of :mod:`repro.synth` is
+calibrated against (scan sizes spanning s298..s35932's flip-flop
+range, wrapper I/O from the benchmark terminal counts up to heavily
+padded wrappers), while pattern statistics sweep the whole regime from
+g12710-flat to a586710-skewed.
+
+Everything here is declarative data plus one module-level evaluator,
+so the sweep engine can fan it across workers and journal it at shard
+granularity; each SOC draws its cores from hash-derived per-core seed
+streams (``core_seed_streams=True``), making every point reproducible
+in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..core.analysis import analyze
+from ..core.sweep import synthetic_soc
+from ..sweeps import Axis, SweepPointSpec, SweepSpec
+from .profiles import ISCAS89_PROFILES
+
+#: Hard bounds on cores per SOC: the ITC'02 SOCs the paper studies
+#: span roughly this range once hierarchy is flattened.
+CORE_COUNT_RANGE = (4, 24)
+
+#: Mean test-set size range per core (patterns); brackets the per-core
+#: pattern counts measured for SOC1/SOC2 and reported for ITC'02.
+MEAN_PATTERNS_RANGE = (50, 1000)
+
+#: Pattern-count spread (lognormal sigma): 0 is the g12710 regime
+#: (identical cores), 2.5 is far beyond a586710's skew.
+PATTERN_SPREAD_RANGE = (0.0, 2.5)
+
+#: How far beyond the largest benchmark terminal count a padded
+#: wrapper may go (GPIO-heavy cores wrap far more terminals than an
+#: ISCAS'89 netlist exposes).
+IO_PAD_FACTOR = 4
+
+
+def profile_scan_bounds() -> Tuple[int, int]:
+    """Per-core scan-cell bounds: the ISCAS'89 flip-flop envelope."""
+    counts = [p.flip_flops for p in ISCAS89_PROFILES.values()]
+    return min(counts), max(counts)
+
+
+def profile_io_bounds() -> Tuple[int, int]:
+    """Per-core wrapper-terminal bounds from the profile envelope.
+
+    The lower bound is the leanest benchmark interface; the upper bound
+    allows :data:`IO_PAD_FACTOR` x the widest one, covering the padded
+    wrappers where g12710-style ExTest overhead starts to dominate.
+    """
+    totals = [p.inputs + p.outputs for p in ISCAS89_PROFILES.values()]
+    return min(totals), IO_PAD_FACTOR * max(totals)
+
+
+def population_spec(samples: int, seed: int = 0) -> SweepSpec:
+    """A latin-hypercube population of ``samples`` profile-matched SOCs.
+
+    Latin sampling stratifies every axis into ``samples`` bins, so even
+    a small smoke population covers the whole spread range — the axis
+    the correlation claim lives on.
+    """
+    scan_lo, scan_hi = profile_scan_bounds()
+    io_lo, io_hi = profile_io_bounds()
+    return SweepSpec(
+        name="population",
+        sampling="latin",
+        samples=samples,
+        seed=seed,
+        axes=(
+            Axis.integers("core_count", *CORE_COUNT_RANGE),
+            Axis.log_uniform("mean_patterns", *MEAN_PATTERNS_RANGE),
+            Axis.uniform("pattern_spread", *PATTERN_SPREAD_RANGE),
+            Axis.log_uniform("scan_cells_per_core", scan_lo, scan_hi),
+            Axis.log_uniform("io_per_core", io_lo, io_hi),
+        ),
+    )
+
+
+def evaluate_population_point(point: SweepPointSpec) -> Dict[str, Any]:
+    """Build and analyze one sampled SOC (module-level: pool-picklable).
+
+    The record carries the sampled design knobs plus the analysis
+    outcome; ``reduction_pct`` follows the paper's sign convention
+    (positive = modular testing reduced TDV).
+    """
+    params = point.params
+    soc = synthetic_soc(
+        name=f"pop_{point.index}",
+        core_count=int(params["core_count"]),
+        mean_patterns=max(1, round(params["mean_patterns"])),
+        pattern_spread=params["pattern_spread"],
+        scan_cells_per_core=max(1, round(params["scan_cells_per_core"])),
+        io_per_core=max(2, round(params["io_per_core"])),
+        seed=point.seed,
+        core_seed_streams=True,
+    )
+    analysis = analyze(soc)
+    summary = analysis.summary
+    return {
+        "index": point.index,
+        "core_count": int(params["core_count"]),
+        "mean_patterns": max(1, round(params["mean_patterns"])),
+        "pattern_spread": params["pattern_spread"],
+        "scan_cells_per_core": max(1, round(params["scan_cells_per_core"])),
+        "io_per_core": max(2, round(params["io_per_core"])),
+        "nsd": analysis.pattern_variation,
+        "tdv_monolithic": summary.tdv_monolithic,
+        "tdv_modular": summary.tdv_modular,
+        "reduction_pct": -100.0 * summary.modular_change_fraction,
+        "modular_wins": summary.tdv_modular < summary.tdv_monolithic,
+    }
