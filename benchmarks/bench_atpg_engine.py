@@ -14,9 +14,9 @@ from repro.atpg import CompiledCircuit, collapse_faults, fault_coverage, generat
 from repro.synth import GeneratorSpec, generate_circuit
 
 try:
-    from .common import record_bench, run_timed
+    from .common import record_bench, run_timed, warm_backend
 except ImportError:  # running as a plain script, not a package
-    from common import record_bench, run_timed
+    from common import record_bench, run_timed, warm_backend
 
 SIZES = [
     ("small", 120, 12, 6, 10),
@@ -56,6 +56,8 @@ def test_bench_atpg_scaling(benchmark, label, gates, inputs, outputs, ffs):
         "fault_coverage": round(result.fault_coverage, 6),
         "patterns_per_second": round(patterns_per_s, 1),
         "faults_simulated_per_second": round(faults_per_s, 1),
+        "backend": warm_backend(),
+        "blocks_evaluated": stats["blocks_evaluated"],
     })
     # Quality gates: full testable coverage, no aborts at this size.
     assert result.testable_coverage == 1.0
@@ -89,6 +91,8 @@ def test_bench_monolithic_soc1_atpg(benchmark):
         "fault_coverage": round(result.fault_coverage, 6),
         "patterns_per_second": round(patterns_per_s, 1),
         "faults_simulated_per_second": round(faults_per_s, 1),
+        "backend": warm_backend(),
+        "blocks_evaluated": stats["blocks_evaluated"],
     })
     assert result.fault_coverage > 0.98
 if __name__ == "__main__":

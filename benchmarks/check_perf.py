@@ -18,7 +18,16 @@ Two kinds of checks, per benchmark label:
   jitter; it exists to catch algorithmic regressions (a kernel going
   quadratic), not percent-level noise.
 
-Exit status is non-zero on any violation, with one line per failure.
+Exit status is non-zero on any violation, with one line per failure —
+each names the benchmark label, the metric, both values, and which
+check (determinism vs throughput band) tripped.
+
+``--update-baseline`` rewrites the baseline file in place from the
+current record (after printing what moved), for ratcheting committed
+numbers from a trusted machine::
+
+    python benchmarks/check_perf.py BENCH_atpg.json BENCH_atpg_current.json \
+        --update-baseline
 """
 
 from __future__ import annotations
@@ -67,11 +76,37 @@ def main(argv=None) -> int:
         "--min-ratio", type=float, default=0.5, metavar="R",
         help="throughput floor as a fraction of baseline (default: 0.5)",
     )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file in place from the current "
+             "record (prints every metric that moved; skips the gate)",
+    )
     args = parser.parse_args(argv)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
     with open(args.current) as handle:
         current = json.load(handle)
+    if args.update_baseline:
+        for label in sorted(set(baseline) | set(current)):
+            before, after = baseline.get(label), current.get(label)
+            if before == after:
+                continue
+            if after is None:
+                print(f"update: {label} kept (not in current record)")
+                continue
+            for key in sorted(set(before or {}) | set(after)):
+                old_value = (before or {}).get(key)
+                if old_value != after.get(key):
+                    print(f"update: {label}.{key}: "
+                          f"{old_value!r} -> {after.get(key)!r}")
+        merged = dict(baseline)
+        merged.update(current)
+        with open(args.baseline, "w") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline {args.baseline} updated "
+              f"({len(current)} labels from {args.current})")
+        return 0
     problems = compare(baseline, current, args.min_ratio)
     for problem in problems:
         print(f"PERF GATE: {problem}", file=sys.stderr)

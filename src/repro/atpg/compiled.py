@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.gates import GateType
 from ..circuit.netlist import Netlist
+from .backends import resolve_backend
 
 # Gate-type opcodes for the flat-array kernels.  Every simulator in the
 # package (bit-parallel logic sim, event-driven fault sim, PODEM's
@@ -56,9 +57,19 @@ class CompiledCircuit:
     conventions of :mod:`repro.circuit.netlist`.
     """
 
-    def __init__(self, netlist: Netlist):
+    def __init__(self, netlist: Netlist, backend: Optional[str] = None):
         netlist.validate()
         self.name = netlist.name
+        # Kernel backend selection (see repro.atpg.backends): an
+        # explicit name wins over $REPRO_BACKEND, which wins over
+        # "auto".  The backend never changes results — every backend is
+        # bit-identical to "pure" — so it is an execution detail here,
+        # not part of any run's identity or cache key.  ``block_lanes``
+        # is the pattern-block width (in 64-bit words) the engines pack
+        # batches to; tests may override it to force wide paths on
+        # small circuits.
+        self.backend = resolve_backend(backend)
+        self.backend_name: str = self.backend.name
         order = netlist.topological_order()
 
         self.net_names: List[str] = []
@@ -114,6 +125,7 @@ class CompiledCircuit:
         # simulator sharing this compilation shares the memo; it is pure
         # derived state and never part of a run's identity.
         self.good_value_cache: "OrderedDict" = OrderedDict()
+        self.block_lanes: int = self.backend.lanes_for(self)
 
     def _build_flat_view(self) -> None:
         """Lower the gate table to parallel flat arrays.

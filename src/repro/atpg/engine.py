@@ -19,6 +19,7 @@ from ..circuit.netlist import Netlist
 from ..observability import get_tracer, register_counter
 from ..runtime.abort import get_abort
 from ..runtime.config import AtpgConfig
+from .backends import BACKEND_RUNS
 from .compaction import static_compact
 from .compiled import CompiledCircuit
 from .faults import Fault, collapse_faults
@@ -28,7 +29,12 @@ from .faultsim import (
     publish_kernel_stats,
     sim_stats,
 )
-from .logicsim import RailBatch, pack_patterns_flat, simulate_flat
+from .logicsim import (
+    RailBatch,
+    pack_full_patterns_flat,
+    pack_patterns_flat,
+    simulate_flat_sparse,
+)
 from .patterns import TestPattern, TestSet
 from .podem import Podem, PodemOutcome
 from .random_phase import run_random_phase
@@ -103,24 +109,33 @@ class _PatternBlock:
 
     CAPACITY = 64
 
-    __slots__ = ("_simulator", "_circuit", "ones", "zeros", "count")
+    __slots__ = ("_simulator", "_circuit", "capacity", "ones", "zeros", "count")
 
     def __init__(self, simulator: FaultSimulator):
         self._simulator = simulator
         self._circuit = simulator.circuit
+        # Wide-lane backends widen the block to several 64-bit words.
+        # The skip invariant — a fault is dropped iff some previously
+        # generated pattern detects it — is capacity-independent
+        # (``detects`` always checks everything since the last flush, and
+        # flushed patterns already filtered the queue), so every PODEM
+        # decision stays bit-identical at any width.
+        self.capacity = self.CAPACITY * self._circuit.block_lanes
         self.ones: List[int] = []
         self.zeros: List[int] = []
         self.count = 0
 
     @property
     def full(self) -> bool:
-        return self.count >= self.CAPACITY
+        return self.count >= self.capacity
 
     def add(self, pattern: TestPattern) -> None:
         """Simulate one (partial) pattern and merge it into the block."""
         circuit = self._circuit
         ones, zeros = pack_patterns_flat(circuit, [pattern.assignments])
-        simulate_flat(circuit, ones, zeros, 1)
+        # PODEM patterns specify a narrow cone of care bits; the sparse
+        # sweep touches only the gates that cone reaches.
+        simulate_flat_sparse(circuit, ones, zeros, 1)
         if self.count == 0:
             self.ones = ones
             self.zeros = zeros
@@ -213,7 +228,9 @@ def generate_tests(
     with tracer.span("atpg", circuit=netlist.name, seed=seed):
         with tracer.span("compile"):
             if circuit is None:
-                circuit = CompiledCircuit(netlist)
+                circuit = CompiledCircuit(
+                    netlist, backend=config.backend if config is not None else None
+                )
             if faults is None:
                 faults = collapse_faults(circuit)
             all_faults = list(faults)
@@ -279,6 +296,7 @@ def generate_tests(
 
         if tracer.enabled:
             tracer.count(ATPG_RUNS)
+            tracer.count(BACKEND_RUNS[circuit.backend_name])
             tracer.count(ATPG_FAULTS_TOTAL, len(all_faults))
             tracer.count(ATPG_FAULTS_DETECTED, detected)
             tracer.count(ATPG_FAULTS_UNTESTABLE, len(untestable))
@@ -367,7 +385,11 @@ def _verify_and_prune(
     """
     remaining = list(faults)
     detected = 0
-    batch_size = 64
+    # Wide-lane backends sweep several 64-pattern words per detect call.
+    # Detection is monotone and the credited pattern is the *first*
+    # detector in reverse order, which is the same pattern whatever the
+    # chunking — kept sets and detect counts are width-invariant.
+    batch_size = 64 * circuit.block_lanes
     patterns = test_set.patterns
     keep_flags = [False] * len(patterns)
     reversed_index = list(range(len(patterns) - 1, -1, -1))
@@ -377,9 +399,11 @@ def _verify_and_prune(
             abort.check()
             chunk = reversed_index[start:start + batch_size]
             # Patterns are fully specified here, so their assignment
-            # dicts are already the per-input trit maps the packer wants.
+            # dicts are already the per-input trit maps the packer wants
+            # and the complement-based full packer applies.
             trits = [patterns[i].assignments for i in chunk]
-            good, count = simulator.good_values(trits)
+            ones, zeros = pack_full_patterns_flat(circuit, trits)
+            good, count = simulator.good_values_rails(ones, zeros, len(trits))
             survivors = []
             masks = pool.detect_masks(good, count, remaining)
             for fault, mask in zip(remaining, masks):
@@ -444,7 +468,9 @@ def generate_n_detect_tests(
         backtrack_limit = config.backtrack_limit
     if n_detect < 1:
         raise ValueError(f"n_detect must be >= 1, got {n_detect}")
-    circuit = CompiledCircuit(netlist)
+    circuit = CompiledCircuit(
+        netlist, backend=config.backend if config is not None else None
+    )
     all_faults = collapse_faults(circuit)
     simulator = FaultSimulator(circuit)
 
@@ -473,13 +499,16 @@ def generate_n_detect_tests(
                     remaining_quota.pop(fault, None)
             aborted = result.aborted
             combined.patterns.extend(result.test_set.patterns)
-            # Charge the new patterns against the quotas they serve, 64
-            # at a time: the popcount of the detect mask is exactly the
-            # number of per-pattern decrements the one-at-a-time loop
-            # would make.
+            # Charge the new patterns against the quotas they serve, a
+            # block at a time: the popcount of the detect mask is
+            # exactly the number of per-pattern decrements the
+            # one-at-a-time loop would make, and a quota only ever hits
+            # zero once, so the chunking never changes which faults
+            # retire or the surviving dict order.
             new_patterns = result.test_set.patterns
-            for start in range(0, len(new_patterns), 64):
-                batch = new_patterns[start:start + 64]
+            charge_width = 64 * circuit.block_lanes
+            for start in range(0, len(new_patterns), charge_width):
+                batch = new_patterns[start:start + charge_width]
                 good, count = simulator.good_values([p.assignments for p in batch])
                 targets = list(remaining_quota)
                 masks = pool.detect_masks(good, count, targets)

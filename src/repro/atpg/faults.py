@@ -100,9 +100,8 @@ def collapse_faults(
     deterministic for reproducible pattern counts.
     """
     if faults is None:
-        sites = _fault_site_universe(circuit)
-    else:
-        sites = [(f.net, f.stuck_at, f.gate_index, f.pin) for f in faults]
+        return _collapse_universe(circuit)
+    sites = [(f.net, f.stuck_at, f.gate_index, f.pin) for f in faults]
     index_of: Dict[Tuple, int] = {site: i for i, site in enumerate(sites)}
     uf = _UnionFind(len(sites))
 
@@ -136,15 +135,106 @@ def collapse_faults(
             _maybe_union(uf, branch, lookup(gate.output, out_value))
 
     roots = {uf.find(i) for i in range(len(sites))}
-    if faults is not None:
-        representatives = [faults[root] for root in roots]
-        return sorted(
-            representatives,
-            key=lambda f: (f.net, f.stuck_at, f.gate_index is not None,
-                           f.gate_index or 0, f.pin or 0),
-        )
+    representatives = [faults[root] for root in roots]
+    return sorted(
+        representatives,
+        key=lambda f: (f.net, f.stuck_at, f.gate_index is not None,
+                       f.gate_index or 0, f.pin or 0),
+    )
+
+
+def _collapse_universe(circuit: CompiledCircuit) -> List[Fault]:
+    """Collapse the full fault universe on integer site indices.
+
+    The site enumeration of :func:`_fault_site_universe` is arithmetic:
+    stem ``(net, sa)`` sits at ``2 * net + sa`` and the branch pairs
+    follow in gate/pin order, so the tuple dictionary the generic path
+    keys its union-find with can be replaced by index arithmetic plus
+    one small branch map.  Indices — and therefore every union, every
+    class representative (the minimum index), and the final sorted
+    fault list — are identical to the generic path's;
+    ``tests/test_backends.py`` pins the equivalence.
+    """
+    from .compiled import OP_NAND, OP_NOR, OP_NOT
+
+    gate_op = circuit.gate_op
+    gate_out = circuit.gate_out
+    gate_in_start = circuit.gate_in_start
+    gate_in_ids = circuit.gate_in_ids
+    fanout_start = circuit.fanout_start
+    stem_count = 2 * circuit.net_count
+
+    # Per-CSR-pin-row branch site index (-1 when the pin's net has a
+    # single load and carries no branch fault), filled in the same
+    # gate/pin order _fault_site_universe enumerates.
+    branch_row = [-1] * len(gate_in_ids)
+    branch_sites: List[Tuple[int, int, int, int]] = []
+    row = 0
+    for index in range(len(gate_op)):
+        for pin in range(gate_in_start[index + 1] - gate_in_start[index]):
+            net_id = gate_in_ids[row]
+            if fanout_start[net_id + 1] - fanout_start[net_id] > 1:
+                branch_row[row] = stem_count + len(branch_sites)
+                branch_sites.append((net_id, 0, index, pin))
+                branch_sites.append((net_id, 1, index, pin))
+            row += 1
+
+    size = stem_count + len(branch_sites)
+    parent = list(range(size))
+
+    def union(a: int, b: int) -> None:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        while parent[b] != b:
+            parent[b] = parent[parent[b]]
+            b = parent[b]
+        if a != b:
+            if a < b:
+                parent[b] = a
+            else:
+                parent[a] = b
+
+    # control value and inversion per opcode (None = no controlling
+    # value, i.e. XOR/XNOR — and BUF/NOT, which take their own path).
+    control_of = (None, None, 0, 0, 1, 1, None, None)
+    for index in range(len(gate_op)):
+        op = gate_op[index]
+        out2 = 2 * gate_out[index]
+        start = gate_in_start[index]
+        if op <= OP_NOT:
+            in2 = 2 * gate_in_ids[start]
+            branch = branch_row[start]
+            for value in (0, 1):
+                out_value = 1 - value if op == OP_NOT else value
+                union(in2 + value, out2 + out_value)
+                if branch >= 0:
+                    union(branch + value, out2 + out_value)
+            continue
+        control = control_of[op]
+        if control is None:
+            continue  # XOR/XNOR have no intra-gate equivalences
+        inverting = op == OP_NAND or op == OP_NOR
+        out_site = out2 + (1 - control if inverting else control)
+        for row in range(start, gate_in_start[index + 1]):
+            branch = branch_row[row]
+            site = branch + control if branch >= 0 else 2 * gate_in_ids[row] + control
+            union(site, out_site)
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    roots = {find(i) for i in range(size)}
+    sites = [
+        (root >> 1, root & 1, None, None) if root < stem_count
+        else branch_sites[root - stem_count]
+        for root in roots
+    ]
     ordered = sorted(
-        (sites[root] for root in roots),
+        sites,
         key=lambda s: (s[0], s[1], s[2] is not None, s[2] or 0, s[3] or 0),
     )
     return [Fault(*site) for site in ordered]

@@ -23,6 +23,8 @@ bit-identical to the full-cone reference rescan
 
 from __future__ import annotations
 
+import os
+
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -47,6 +49,9 @@ SIM_STATS = {
     "fault_pattern_evals": 0,
     "gate_evals": 0,
     "good_cache_hits": 0,
+    "blocks_evaluated": 0,
+    "shard_bytes_shared": 0,
+    "shard_bytes_pickled": 0,
 }
 
 
@@ -78,6 +83,18 @@ KERNEL_METRICS = {
     "good_cache_hits": register_counter(
         "faultsim.good_cache_hits",
         "good-machine batch simulations served from the per-circuit cache",
+    ),
+    "blocks_evaluated": register_counter(
+        "kernel.blocks_evaluated",
+        "packed pattern blocks simulated through the good machine",
+    ),
+    "shard_bytes_shared": register_counter(
+        "shard.bytes_shared",
+        "pattern-block bytes moved to shard workers via shared memory",
+    ),
+    "shard_bytes_pickled": register_counter(
+        "shard.bytes_pickled",
+        "pattern-block bytes moved to shard workers via pickle",
     ),
 }
 
@@ -172,6 +189,7 @@ class FaultSimulator:
             SIM_STATS["good_cache_hits"] += 1
             return batch, count
         simulate_flat(circuit, ones, zeros, count)
+        SIM_STATS["blocks_evaluated"] += 1
         batch = RailBatch(ones, zeros, count)
         cache[key] = batch
         if len(cache) > GOOD_CACHE_CAPACITY:
@@ -417,6 +435,15 @@ class FaultSimulator:
             if (g_ones[i] | g_zeros[i]) != full:
                 break
         else:
+            # The circuit's kernel backend may take the whole X-free
+            # call as one vectorized pass (numpy); a None return means
+            # "not worth it here" and the scalar path below runs.
+            # Either way the masks are bit-identical.
+            masks = circuit.backend.ffr_detect_masks(
+                self, g_ones, g_zeros, full, pattern_count, faults
+            )
+            if masks is not None:
+                return masks
             return self._ffr_detect_masks(
                 g_ones, g_zeros, full, pattern_count, faults
             )
@@ -762,6 +789,24 @@ class FaultSimulator:
         SIM_STATS["fault_pattern_evals"] += fault_count * pattern_count
         return masks
 
+    def _chase_flip(
+        self, g_ones: List[int], g_zeros: List[int], full: int, net: int
+    ) -> int:
+        """One chase of the *complemented* root rails (X-free batches).
+
+        Seeding the stem sweep with ``(g_zeros[net], g_ones[net])``
+        flips the root in every pattern at once.  Because every
+        dual-rail gate op is bitwise, pattern bits evolve independently,
+        so the detected mask equals ``obs0 | obs1`` of the two
+        constant-stuck chases exactly: each bit sees the root flip away
+        from its own good value, which is what whichever polarity chase
+        differs from the good value computes for that bit.  One sweep
+        instead of two — the numpy backend's observability kernel.
+        """
+        return self._chase_stem(
+            g_ones, g_zeros, full, net, g_zeros[net], g_ones[net]
+        )
+
     def _chase_stem(
         self,
         g_ones: List[int],
@@ -976,6 +1021,16 @@ class FaultSimulator:
 # Worker-process state installed by :func:`_shard_init`.
 _SHARD_SIMULATOR: Optional[FaultSimulator] = None
 _SHARD_FAULTS: List[Fault] = []
+_SHARD_SHM = None  # cached SharedMemory attachment (one segment per pool)
+
+
+class ShmAttachError(RuntimeError):
+    """A shard worker could not attach the pool's shared-memory segment.
+
+    Raised out of the worker (it pickles cleanly across the pool); the
+    parent catches it, retires the shared-memory channel, and redoes
+    the call over pickle — a degraded but correct transport.
+    """
 
 
 def _shard_init(circuit: CompiledCircuit, faults: List[Fault]) -> None:
@@ -983,6 +1038,18 @@ def _shard_init(circuit: CompiledCircuit, faults: List[Fault]) -> None:
     global _SHARD_SIMULATOR, _SHARD_FAULTS
     _SHARD_SIMULATOR = FaultSimulator(circuit)
     _SHARD_FAULTS = faults
+
+
+def _shard_rails(in_ones: List[int], in_zeros: List[int], count: int):
+    """Scatter input-net rails onto full-circuit rails and simulate."""
+    simulator = _SHARD_SIMULATOR
+    circuit = simulator.circuit
+    ones = [0] * circuit.net_count
+    zeros = [0] * circuit.net_count
+    for net_id, o, z in zip(circuit.input_ids, in_ones, in_zeros):
+        ones[net_id] = o
+        zeros[net_id] = z
+    return simulator.good_values_rails(ones, zeros, count)
 
 
 def _shard_detect(
@@ -995,13 +1062,46 @@ def _shard_detect(
     worker's own per-circuit memo when the batch repeats.
     """
     simulator = _SHARD_SIMULATOR
+    good, n = _shard_rails(in_ones, in_zeros, count)
+    faults = _SHARD_FAULTS
+    return simulator.detect_masks(good, n, [faults[i] for i in indices])
+
+
+def _shard_detect_shm(
+    indices: List[int], shm_name: str, row_bytes: int, count: int
+) -> List[int]:
+    """Worker entry point: like :func:`_shard_detect`, rails via shm.
+
+    The parent publishes the batch's packed input rails into one
+    shared-memory segment (ones block then zeros block, one
+    ``row_bytes`` little-endian row per input net) before submitting;
+    calls are synchronous — the parent collects every future before
+    reusing the buffer — so a plain read here is race-free.  The
+    attachment is cached per worker; only the shard's fault indices and
+    this tiny descriptor cross the pipe.
+    """
+    global _SHARD_SHM
+    simulator = _SHARD_SIMULATOR
     circuit = simulator.circuit
-    ones = [0] * circuit.net_count
-    zeros = [0] * circuit.net_count
-    for net_id, o, z in zip(circuit.input_ids, in_ones, in_zeros):
-        ones[net_id] = o
-        zeros[net_id] = z
-    good, n = simulator.good_values_rails(ones, zeros, count)
+    if _SHARD_SHM is None or _SHARD_SHM.name != shm_name:
+        try:
+            from multiprocessing import shared_memory
+
+            # Attaching re-registers the name with the (fork-shared)
+            # resource tracker; that is a set-idempotent no-op, and the
+            # parent's eventual unlink() performs the one unregister
+            # that balances it — no manual tracker bookkeeping here.
+            _SHARD_SHM = shared_memory.SharedMemory(name=shm_name)
+        except Exception as exc:
+            raise ShmAttachError(f"cannot attach {shm_name}: {exc}") from exc
+    input_count = len(circuit.input_ids)
+    data = bytes(_SHARD_SHM.buf[: 2 * input_count * row_bytes])
+    from_bytes = int.from_bytes
+    rails = [
+        from_bytes(data[offset: offset + row_bytes], "little")
+        for offset in range(0, len(data), row_bytes)
+    ]
+    good, n = _shard_rails(rails[:input_count], rails[input_count:], count)
     faults = _SHARD_FAULTS
     return simulator.detect_masks(good, n, [faults[i] for i in indices])
 
@@ -1017,6 +1117,17 @@ class FaultShardPool:
     call has too few faults to amortize the IPC (``min_shard``), or
     when a worker dies mid-call — the affected call is recomputed
     serially and the pool is retired for the rest of the run.
+
+    Pattern rails normally travel to the workers through one
+    shared-memory segment created with the pool (the *zero-pickle*
+    channel): the parent publishes the packed input rails once per
+    call and each worker reads them in place, so only the shard's
+    fault indices cross the pickle pipe.  ``REPRO_NO_SHM=1`` disables
+    the channel; if a worker cannot attach the segment (chaos,
+    sandboxes that mask ``/dev/shm``), the channel is retired and the
+    call — and the rest of the run — degrades to pickled rails.
+    ``SIM_STATS["shard_bytes_shared"]`` / ``["shard_bytes_pickled"]``
+    count the rail bytes moved over each transport.
 
     The cooperative ambient :class:`~repro.runtime.abort.AbortToken` is
     checked once per call in the parent; shard tasks are batch-sized
@@ -1041,6 +1152,10 @@ class FaultShardPool:
         self._simulator = simulator if simulator is not None else FaultSimulator(circuit)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._index_of: Dict[Fault, int] = {}
+        self._shm = None
+        # Widest batch the segment can carry: one 64-bit word per lane
+        # per input net and rail.  Wider calls fall back to pickle.
+        self._shm_row = 8 * circuit.block_lanes
         if self.workers > 1 and len(self.faults) > self.min_shard:
             try:
                 self._pool = ProcessPoolExecutor(
@@ -1052,6 +1167,19 @@ class FaultShardPool:
                 self._pool = None  # no pool available: stay serial
             else:
                 self._index_of = {fault: i for i, fault in enumerate(self.faults)}
+                self._shm = self._create_shm()
+
+    def _create_shm(self):
+        """The pool's rail segment, or None (disabled/unavailable)."""
+        if os.environ.get("REPRO_NO_SHM", "0") not in ("", "0"):
+            return None
+        size = 2 * len(self.circuit.input_ids) * self._shm_row
+        try:
+            from multiprocessing import shared_memory
+
+            return shared_memory.SharedMemory(create=True, size=max(1, size))
+        except Exception:
+            return None  # no shm on this platform: pickle rails instead
 
     def detect_masks(
         self, good: RailBatch, pattern_count: int, faults: Sequence[Fault]
@@ -1064,31 +1192,96 @@ class FaultShardPool:
             return self._simulator.detect_masks(good, pattern_count, fault_list)
         indices = [self._index_of[fault] for fault in fault_list]
         shard_size = -(-len(indices) // self.workers)
-        in_ones = [good.ones[i] for i in self.circuit.input_ids]
-        in_zeros = [good.zeros[i] for i in self.circuit.input_ids]
-        futures = [
-            pool.submit(
-                _shard_detect,
-                indices[start:start + shard_size],
-                in_ones,
-                in_zeros,
-                pattern_count,
-            )
+        shards = [
+            indices[start:start + shard_size]
             for start in range(0, len(indices), shard_size)
         ]
-        masks: List[int] = []
+        in_ones = [good.ones[i] for i in self.circuit.input_ids]
+        in_zeros = [good.zeros[i] for i in self.circuit.input_ids]
         try:
-            for future in futures:
-                masks.extend(future.result())
+            if self._shm is not None and pattern_count <= 8 * self._shm_row:
+                masks = self._detect_shm(shards, in_ones, in_zeros, pattern_count)
+                if masks is not None:
+                    return masks
+                # Attach failed somewhere: the channel is now retired
+                # and the call must be redone over pickled rails.
+            return self._detect_pickled(shards, in_ones, in_zeros, pattern_count)
         except BrokenExecutor:
             # A worker died mid-call: retire the pool and recompute the
             # whole call serially — correctness over partial credit.
             self.close()
             return self._simulator.detect_masks(good, pattern_count, fault_list)
+
+    def _detect_shm(
+        self,
+        shards: List[List[int]],
+        in_ones: List[int],
+        in_zeros: List[int],
+        pattern_count: int,
+    ) -> Optional[List[int]]:
+        """One sharded call over the shared-memory rail channel.
+
+        Returns None — after retiring the channel — when any worker
+        failed to attach the segment; BrokenExecutor propagates to the
+        caller's serial fallback.
+        """
+        row = self._shm_row
+        payload = b"".join(
+            value.to_bytes(row, "little") for value in in_ones + in_zeros
+        )
+        self._shm.buf[: len(payload)] = payload
+        name = self._shm.name
+        futures = [
+            self._pool.submit(_shard_detect_shm, shard, name, row, pattern_count)
+            for shard in shards
+        ]
+        masks: List[int] = []
+        failed = False
+        for future in futures:
+            try:
+                masks.extend(future.result())
+            except ShmAttachError:
+                failed = True
+        if failed:
+            self._close_shm()
+            return None
+        SIM_STATS["shard_bytes_shared"] += len(payload)
         return masks
+
+    def _detect_pickled(
+        self,
+        shards: List[List[int]],
+        in_ones: List[int],
+        in_zeros: List[int],
+        pattern_count: int,
+    ) -> List[int]:
+        """One sharded call with the rails pickled into every task."""
+        futures = [
+            self._pool.submit(_shard_detect, shard, in_ones, in_zeros, pattern_count)
+            for shard in shards
+        ]
+        masks: List[int] = []
+        for future in futures:
+            masks.extend(future.result())
+        # Each shard task carries its own copy of both rails; count the
+        # minimal big-endian byte footprint of what was serialized.
+        SIM_STATS["shard_bytes_pickled"] += len(shards) * sum(
+            (value.bit_length() + 7) // 8 for value in in_ones + in_zeros
+        )
+        return masks
+
+    def _close_shm(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except Exception:
+                pass
+            self._shm = None
 
     def close(self) -> None:
         """Shut the pool down; further calls run serially."""
+        self._close_shm()
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
@@ -1104,17 +1297,21 @@ def fault_coverage(
     circuit: CompiledCircuit,
     patterns: Sequence[Dict[int, Optional[int]]],
     faults: List[Fault],
-    batch_size: int = 64,
+    batch_size: Optional[int] = None,
     workers: int = 1,
 ) -> float:
     """Fraction of ``faults`` detected by ``patterns``.
 
-    ``workers`` > 1 shards the fault list across a process pool
-    (:class:`FaultShardPool`); results are bit-identical to the serial
-    sweep for any worker count.
+    ``batch_size`` defaults to the backend's block width (64 patterns
+    per lane); detection is a monotone OR over patterns, so the coverage
+    is chunking-invariant.  ``workers`` > 1 shards the fault list across
+    a process pool (:class:`FaultShardPool`); results are bit-identical
+    to the serial sweep for any worker count.
     """
     if not faults:
         raise ValueError("empty fault list")
+    if batch_size is None:
+        batch_size = 64 * circuit.block_lanes
     simulator = FaultSimulator(circuit)
     remaining = list(faults)
     with FaultShardPool(circuit, faults, workers, simulator) as pool:

@@ -86,6 +86,31 @@ def pack_patterns_flat(
     return ones, zeros
 
 
+def pack_full_patterns_flat(
+    circuit: CompiledCircuit,
+    patterns: Sequence[Dict[int, int]],
+) -> Tuple[List[int], List[int]]:
+    """:func:`pack_patterns_flat` for *fully specified* patterns.
+
+    Precondition: every pattern assigns 0/1 (never ``None``) to every
+    input net.  The zeros rail is then just the complement of the ones
+    rail over the batch width, so only the set bits need scattering —
+    about half the per-bit work of the general packer on the final
+    verify sweep's full-width batches.
+    """
+    ones = [0] * circuit.net_count
+    zeros = [0] * circuit.net_count
+    for bit, pattern in enumerate(patterns):
+        mask = 1 << bit
+        for net_id, value in pattern.items():
+            if value:
+                ones[net_id] |= mask
+    full = (1 << len(patterns)) - 1
+    for net_id in circuit.input_ids:
+        zeros[net_id] = ones[net_id] ^ full
+    return ones, zeros
+
+
 def pack_patterns(
     circuit: CompiledCircuit,
     patterns: Sequence[Dict[int, Optional[int]]],
@@ -230,6 +255,86 @@ def simulate_flat(
                 o, z = z, o
         ones[out] = o
         zeros[out] = z
+    return ones, zeros
+
+
+def simulate_flat_sparse(
+    circuit: CompiledCircuit,
+    ones: List[int],
+    zeros: List[int],
+    pattern_count: int,
+) -> Tuple[List[int], List[int]]:
+    """Event-driven :func:`simulate_flat` for sparse (mostly-X) batches.
+
+    Precondition: every non-input net is all-X (``ones[n] == zeros[n]
+    == 0``), as :func:`pack_patterns_flat` produces.  Only gates
+    reachable from non-X inputs are evaluated, and fanout is chased
+    only from gates whose output came out non-X.
+
+    This is bit-identical to the full sweep: in three-valued dual-rail
+    logic a gate output can be non-X only if at least one input is
+    non-X (every evaluator starts from the all-X identity and only
+    accumulates input bits), so the full sweep leaves exactly the
+    unvisited gates at X.  For PODEM's partial patterns — a few care
+    bits driving a narrow cone — this touches a small fraction of the
+    gate table.
+    """
+    full = (1 << pattern_count) - 1
+    gate_table = circuit.gate_table
+    gate_levels = circuit.gate_levels
+    fanout_start = circuit.fanout_start
+    fanout_gates = circuit.fanout_gates
+    buckets: List[List[int]] = [[] for _ in range(circuit.max_level + 1)]
+    scheduled = bytearray(len(gate_table))
+    for net_id in circuit.input_ids:
+        if ones[net_id] or zeros[net_id]:
+            for slot in range(fanout_start[net_id], fanout_start[net_id + 1]):
+                gate = fanout_gates[slot]
+                if not scheduled[gate]:
+                    scheduled[gate] = 1
+                    buckets[gate_levels[gate]].append(gate)
+    # Levels ascend, and a gate's inputs all come from strictly lower
+    # levels, so by the time a bucket runs its gates see final values.
+    for level in range(1, len(buckets)):
+        for gate in buckets[level]:
+            op, out, ins = gate_table[gate]
+            if OP_AND <= op <= OP_NOR:
+                if op <= OP_NAND:  # AND / NAND
+                    o, z = full, 0
+                    for i in ins:
+                        o &= ones[i]
+                        z |= zeros[i]
+                    if op == OP_NAND:
+                        o, z = z, o
+                else:  # OR / NOR
+                    o, z = 0, full
+                    for i in ins:
+                        o |= ones[i]
+                        z &= zeros[i]
+                    if op == OP_NOR:
+                        o, z = z, o
+            elif op <= OP_NOT:  # BUF / NOT
+                i = ins[0]
+                o, z = ones[i], zeros[i]
+                if op == OP_NOT:
+                    o, z = z, o
+            else:  # XOR / XNOR
+                it = iter(ins)
+                i = next(it)
+                o, z = ones[i], zeros[i]
+                for i in it:
+                    io, iz = ones[i], zeros[i]
+                    o, z = (o & iz) | (z & io), (o & io) | (z & iz)
+                if op == OP_XNOR:
+                    o, z = z, o
+            if o or z:
+                ones[out] = o
+                zeros[out] = z
+                for slot in range(fanout_start[out], fanout_start[out + 1]):
+                    load = fanout_gates[slot]
+                    if not scheduled[load]:
+                        scheduled[load] = 1
+                        buckets[gate_levels[load]].append(load)
     return ones, zeros
 
 

@@ -49,6 +49,10 @@ class TestPattern:
     def filled(self, input_ids: Sequence[int], rng: random.Random) -> "TestPattern":
         """Replace X bits with random values over the given input list."""
         assignments = dict(self.assignments)
+        if len(assignments) == len(input_ids):
+            # Fully specified already: no X bits, no draws — the RNG
+            # stream is untouched either way.
+            return TestPattern(assignments)
         for net_id in input_ids:
             if net_id not in assignments:
                 assignments[net_id] = rng.getrandbits(1)
@@ -128,16 +132,20 @@ def random_pattern_rails(
     ones = [0] * net_count
     zeros = [0] * net_count
     getrandbits = rng.getrandbits
+    # Accumulate into a dense per-input list (a list comprehension
+    # evaluates left to right, preserving the draw order) and scatter to
+    # net ids once at the end — the comprehension is markedly faster
+    # than per-draw indexed |= on the full-width rails.
+    vals = [0] * len(input_ids)
     for bit in range(count):
         mask = 1 << bit
-        for net_id in input_ids:
-            if getrandbits(1):
-                ones[net_id] |= mask
+        vals = [v | mask if getrandbits(1) else v for v in vals]
     # Random patterns are fully specified, so the zeros rail is just the
     # complement of the ones rail over the batch width.
     full = (1 << count) - 1
-    for net_id in input_ids:
-        zeros[net_id] = ones[net_id] ^ full
+    for net_id, value in zip(input_ids, vals):
+        ones[net_id] = value
+        zeros[net_id] = value ^ full
     return ones, zeros
 
 

@@ -78,35 +78,58 @@ def _run_batches(
     result = RandomPhaseResult(remaining_faults=list(faults))
     abort = get_abort()
     input_ids = circuit.input_ids
+    # The backend's lane count widens each draw/simulate round-trip to
+    # several 64-pattern batches at once; the per-batch bookkeeping below
+    # then replays the wide detect masks chunk by chunk.  Dual-rail ops
+    # are per-bit independent, so each 64-bit slice of a wide mask equals
+    # the mask a narrow round would have computed — batches, kept
+    # patterns, dropped faults, and the early-exit point are identical
+    # for every lane count.
+    lanes = circuit.block_lanes
+    batch_full = (1 << batch_size) - 1
     while result.remaining_faults and result.batches < max_batches:
         abort.check()
-        # The batch is drawn directly in packed dual-rail form — same
-        # RNG stream as batch_size random_pattern() calls (the contract
-        # random_pattern_rails documents), with no per-pattern dicts and
-        # no pack_patterns_flat repack.  Only the handful of kept first
-        # detectors are materialized back into TestPattern form below.
-        ones, zeros = random_pattern_rails(
-            input_ids, rng, batch_size, circuit.net_count
-        )
-        good, count = simulator.good_values_rails(ones, zeros, batch_size)
-        first_detector = [False] * count
-        survivors = []
-        detected_here = 0
+        # The block is drawn directly in packed dual-rail form — same
+        # RNG stream as chunk_count * batch_size random_pattern() calls
+        # (the contract random_pattern_rails documents), with no
+        # per-pattern dicts and no pack_patterns_flat repack.  Only the
+        # handful of kept first detectors are materialized back into
+        # TestPattern form below.  When a chunk's yield stops the phase
+        # early, the already-drawn later chunks are simply discarded;
+        # the rng is local, so the over-draw leaks nowhere.
+        chunk_count = min(lanes, max_batches - result.batches)
+        count = batch_size * chunk_count
+        ones, zeros = random_pattern_rails(input_ids, rng, count, circuit.net_count)
+        good, count = simulator.good_values_rails(ones, zeros, count)
         masks = simulator.detect_masks(good, count, result.remaining_faults)
-        for fault, mask in zip(result.remaining_faults, masks):
-            if mask:
-                detected_here += 1
-                first_detector[(mask & -mask).bit_length() - 1] = True
-            else:
-                survivors.append(fault)
-        result.batches += 1
-        result.detected += detected_here
-        result.remaining_faults = survivors
-        result.patterns.extend(
-            pattern_from_rails(input_ids, good.ones, bit)
-            for bit, keep in enumerate(first_detector)
-            if keep
-        )
-        if detected_here < min_yield:
+        pairs = list(zip(result.remaining_faults, masks))
+        stop = False
+        for chunk in range(chunk_count):
+            base = chunk * batch_size
+            first_detector = [False] * batch_size
+            survivors = []
+            detected_here = 0
+            for fault, mask in pairs:
+                sub = (mask >> base) & batch_full
+                if sub:
+                    detected_here += 1
+                    first_detector[(sub & -sub).bit_length() - 1] = True
+                else:
+                    survivors.append((fault, mask))
+            result.batches += 1
+            result.detected += detected_here
+            pairs = survivors
+            result.patterns.extend(
+                pattern_from_rails(input_ids, good.ones, base + bit)
+                for bit, keep in enumerate(first_detector)
+                if keep
+            )
+            if detected_here < min_yield:
+                stop = True
+                break
+            if not pairs:
+                break
+        result.remaining_faults = [fault for fault, _ in pairs]
+        if stop:
             break
     return result

@@ -126,6 +126,11 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable the ATPG result cache entirely",
     )
     parser.add_argument(
+        "--backend", choices=("auto", "pure", "numpy"), default=None,
+        help="fault-simulation kernel backend (default: $REPRO_BACKEND "
+             "or auto; every backend is bit-identical)",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="write a JSONL span/counter trace of the whole run to FILE",
     )
@@ -204,6 +209,7 @@ def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> R
         on_error=args.on_error,
         run_dir=args.run_dir,
         resume=args.resume,
+        backend=getattr(args, "backend", None),
     )
 
 

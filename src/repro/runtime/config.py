@@ -20,9 +20,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..errors import ConfigError
+
+# Kept in sync with repro.atpg.backends.BACKEND_CHOICES (not imported:
+# this module sits below repro.atpg by design).
+_BACKEND_CHOICES = ("auto", "pure", "numpy")
 
 
 @dataclass(frozen=True)
@@ -38,8 +42,18 @@ class AtpgConfig:
     random_batches: int = 32
     compact: bool = True
     dynamic_compaction: int = 0
+    #: Kernel backend request (``None`` = environment/auto).  Every
+    #: backend is bit-identical to ``pure``, so this is an execution
+    #: detail: it rides along in serialized configs but is excluded
+    #: from :meth:`fingerprint`, keeping cache keys backend-invariant.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in _BACKEND_CHOICES:
+            raise ConfigError(
+                f"unknown kernel backend {self.backend!r}: "
+                f"choose from {', '.join(_BACKEND_CHOICES)}"
+            )
         if self.backtrack_limit < 1:
             raise ConfigError(
                 f"backtrack_limit must be >= 1, got {self.backtrack_limit}"
@@ -66,13 +80,16 @@ class AtpgConfig:
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "seed": self.seed,
             "backtrack_limit": self.backtrack_limit,
             "random_batches": self.random_batches,
             "compact": self.compact,
             "dynamic_compaction": self.dynamic_compaction,
         }
+        if self.backend is not None:
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AtpgConfig":
@@ -82,9 +99,17 @@ class AtpgConfig:
             random_batches=data.get("random_batches", 32),
             compact=data.get("compact", True),
             dynamic_compaction=data.get("dynamic_compaction", 0),
+            backend=data.get("backend"),
         )
 
     def fingerprint(self) -> str:
-        """A stable content hash of the configuration."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        """A stable content hash of the configuration.
+
+        The kernel ``backend`` is deliberately excluded: backends are
+        bit-identical, so results cached under one backend are valid —
+        and reused — under any other.
+        """
+        data = self.to_dict()
+        data.pop("backend", None)
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

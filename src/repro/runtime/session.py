@@ -19,6 +19,7 @@ collects the merged per-job spans.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import replace
 from typing import Iterator, List, Optional, Sequence
 
 from ..atpg.engine import AtpgResult
@@ -88,6 +89,7 @@ class Runtime:
         on_error: str = "raise",
         run_dir: Optional[str] = None,
         resume: bool = False,
+        backend: Optional[str] = None,
     ) -> "Runtime":
         """Build a runtime from the shared CLI flags.
 
@@ -113,6 +115,11 @@ class Runtime:
             cache = AtpgResultCache(cache_dir if cache_dir else default_cache_dir())
         base = config if config is not None else AtpgConfig()
         resolved = base if seed is None else base.with_seed(seed)
+        if backend is not None:
+            # Kernel backend (--backend): execution detail, validated by
+            # AtpgConfig but excluded from its fingerprint — cache keys
+            # and results are backend-invariant.
+            resolved = replace(resolved, backend=backend)
         tracer = None
         if trace or metrics:
             tracer = Tracer()
