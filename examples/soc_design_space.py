@@ -9,6 +9,8 @@ answered with the sweep and TAM substrates:
 2. How fine should I partition?  (granularity sweep)
 3. Does the conclusion survive real scan-chain/TAM idle bits, which the
    paper's analysis deliberately excludes?  (idle-bit ablation)
+4. Given a TAM width budget, what schedule should I actually ship?
+   (wrapper/TAM co-optimization)
 
 Run:  python examples/soc_design_space.py
 """
@@ -19,7 +21,14 @@ from repro.core import (
     sweep_pattern_variation,
 )
 from repro.itc02 import load
-from repro.tam import compare_architectures, core_specs_from_soc, idle_bit_sweep
+from repro.tam import (
+    TamProblem,
+    compare_architectures,
+    core_specs_from_soc,
+    design_space,
+    idle_bit_sweep,
+    pareto_front,
+)
 
 
 def main() -> None:
@@ -52,6 +61,17 @@ def main() -> None:
     for result in compare_architectures(specs, tam_width=16):
         print(f"   {result.architecture:13s} {result.test_time_cycles:>12,} cycles, "
               f"idle fraction {100 * result.idle_fraction:.1f}%")
+
+    print("\n4. Wrapper/TAM co-optimization (d695, binpack scheduler)")
+    problem = TamProblem.from_soc(soc, tam_width=32)
+    results = design_space(problem, tam_widths=[8, 16, 32])
+    for result in results:
+        if result.scheduler != "binpack":
+            continue
+        print(f"   width {result.tam_width:2d}: {result.summary()}")
+    front = pareto_front(results)
+    print(f"   Pareto-optimal operating points "
+          f"(width, time, volume): {len(front)} of {len(results)}")
 
 
 if __name__ == "__main__":

@@ -29,7 +29,9 @@ from .circuit import netlist_stats
 from .core import decompose, soc_table, summarize
 from .experiments.runner import (
     EXPERIMENTS,
+    add_experiment_arguments,
     add_runtime_arguments,
+    experiment_options,
     maybe_profile,
     report_runtime,
     run_experiments,
@@ -113,7 +115,8 @@ def _cmd_itc02(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     runtime = runtime_from_args(args)
     names = EXPERIMENTS if args.name == "all" else (args.name,)
-    run_experiments(names, seed=args.seed, runtime=runtime)
+    run_experiments(names, seed=args.seed, runtime=runtime,
+                    options=experiment_options(args))
     report_runtime(runtime)
     return 0
 
@@ -171,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="threaded into every experiment (default: "
                                   "each experiment's historical seed)")
     add_runtime_arguments(experiments)
+    add_experiment_arguments(experiments)
     experiments.set_defaults(func=_cmd_experiments)
 
     figures = subparsers.add_parser(

@@ -75,6 +75,20 @@ class CacheCorruptionError(ReproError, ValueError):
     """
 
 
+# -- test scheduling ---------------------------------------------------------
+
+
+class ScheduleError(ReproError, AssertionError):
+    """A test schedule violated a resource budget or its own shape.
+
+    Raised by :meth:`repro.tam.Schedule.verify` (TAM wires
+    over-committed, zero-width or negative-duration slots) and
+    :func:`repro.tam.verify_power` (power budget exceeded).  Keeps
+    ``AssertionError`` as a parent because these checks used to be bare
+    asserts; existing ``except AssertionError`` call sites still work.
+    """
+
+
 # -- job execution -----------------------------------------------------------
 
 

@@ -11,6 +11,7 @@ Experiments map one-to-one to the paper's tables and figures:
 ``correlation``  reduction vs pattern-count variation (Section 5.2)
 ``ablation``     idle bits / wrapper overhead / granularity
 ``extensions``   BIST / compression / abort-on-fail follow-on studies
+``tam``          wrapper/TAM co-optimization design space (ROADMAP 3)
 ``population``   Section 5.2's correlation at N=1000+ synthetic SOCs
 ``all``          everything above, in order
 ===============  ======================================================
@@ -39,9 +40,10 @@ have no stochastic component and ignore it by construction.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from contextlib import contextmanager
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..observability import register_counter
 from ..runtime.session import Runtime, ensure_runtime
@@ -53,6 +55,7 @@ from . import (  # noqa: F401 — importing registers each experiment
     iscas_socs,
     itc02_tables,
     population,
+    tam,
 )
 from .registry import get as get_experiment
 from .registry import names as experiment_names
@@ -62,29 +65,54 @@ EXPERIMENTS = experiment_names()
 EXPERIMENT_RUNS = register_counter("experiments.runs", "experiments executed")
 
 
+def _accepted_options(
+    run: Any, options: Optional[Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """The subset of ``options`` the experiment's ``run`` accepts.
+
+    Experiment-specific flags (``--tam-widths``, ...) are threaded by
+    keyword; an experiment that doesn't take one simply doesn't get it,
+    so ``all`` runs apply each option only where it belongs.
+    """
+    if not options:
+        return {}
+    parameters = inspect.signature(run).parameters
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return dict(options)
+    return {key: value for key, value in options.items() if key in parameters}
+
+
 def run_experiment(
     name: str,
     seed: Optional[int] = None,
     runtime: Optional[Runtime] = None,
+    options: Optional[Mapping[str, Any]] = None,
 ) -> None:
     """Run one experiment, threading seed and runtime into it.
 
     The whole experiment runs under the runtime's tracer (if any), so
     even its non-runtime work lands inside one ``experiment`` span.
-    An unknown name raises ValueError.
+    ``options`` carries experiment-specific keyword arguments; only
+    those the experiment accepts are passed.  An unknown name raises
+    ValueError.
     """
     entry = get_experiment(name)
     runtime = ensure_runtime(runtime)
+    extra = _accepted_options(entry.run, options)
     with runtime.activate() as tracer:
         with tracer.span("experiment", name=name):
             tracer.count(EXPERIMENT_RUNS)
-            entry.run(seed=seed, runtime=runtime)
+            entry.run(seed=seed, runtime=runtime, **extra)
 
 
 def run_experiments(
     names: Sequence[str],
     seed: Optional[int] = None,
     runtime: Optional[Runtime] = None,
+    options: Optional[Mapping[str, Any]] = None,
 ) -> None:
     """Run several experiments, each followed by a blank line.
 
@@ -98,7 +126,7 @@ def run_experiments(
         if key in seen:
             continue
         seen.add(key)
-        run_experiment(name, seed=seed, runtime=runtime)
+        run_experiment(name, seed=seed, runtime=runtime, options=options)
         print()
 
 
@@ -168,6 +196,67 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="resume the run journaled in --run-dir: journaled jobs are "
              "skipped, output is bit-identical to an uninterrupted run",
     )
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        )
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _str_list(text: str) -> List[str]:
+    values = [part.strip() for part in text.split(",") if part.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one name")
+    return values
+
+
+def add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """Experiment-specific flags, shared by both CLIs.
+
+    Each flag maps to a keyword argument of one experiment's ``run``;
+    the runner threads it only into experiments that accept it.
+    """
+    from ..tam import SCHEDULERS
+
+    group = parser.add_argument_group("tam experiment")
+    group.add_argument(
+        "--tam-widths", type=_int_list, default=None, metavar="W,W,...",
+        help="TAM widths to sweep, comma-separated "
+             "(default: 8,16,24,32,48,64)",
+    )
+    group.add_argument(
+        "--tam-socs", type=_str_list, default=None, metavar="SOC,SOC,...",
+        help="ITC'02 SOCs to sweep, comma-separated "
+             "(default: the full ten-SOC suite)",
+    )
+    group.add_argument(
+        "--scheduler", choices=SCHEDULERS, default=None,
+        help="restrict the sweep to one test scheduler "
+             "(default: greedy and binpack, so their makespans compare)",
+    )
+    group.add_argument(
+        "--tam-front", default=None, metavar="FILE",
+        help="write the surviving (width, makespan, TDV) Pareto front "
+             "as a JSON artifact to FILE",
+    )
+
+
+def experiment_options(args: argparse.Namespace) -> Dict[str, Any]:
+    """The experiment keyword options the parsed flags describe."""
+    mapping = {
+        "tam_widths": getattr(args, "tam_widths", None),
+        "socs": getattr(args, "tam_socs", None),
+        "scheduler": getattr(args, "scheduler", None),
+        "front_path": getattr(args, "tam_front", None),
+    }
+    return {key: value for key, value in mapping.items() if value is not None}
 
 
 @contextmanager
@@ -244,11 +333,13 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(default: each experiment's historical seed)",
     )
     add_runtime_arguments(parser)
+    add_experiment_arguments(parser)
     args = parser.parse_args(argv)
     runtime = runtime_from_args(args)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     with maybe_profile(args):
-        run_experiments(names, seed=args.seed, runtime=runtime)
+        run_experiments(names, seed=args.seed, runtime=runtime,
+                        options=experiment_options(args))
     report_runtime(runtime)
     return 0
 

@@ -1,6 +1,13 @@
 """ITC'02 SOC test benchmarks: format, data, calibration, published tables."""
 
-from .benchmarks import BENCHMARK_NAMES, benchmark_names, load, load_all, load_file
+from .benchmarks import (
+    BENCHMARK_NAMES,
+    benchmark_names,
+    load,
+    load_all,
+    load_file,
+    load_many,
+)
 from .calibrate import (
     CalibrationError,
     CalibrationHints,
@@ -49,6 +56,7 @@ __all__ = [
     "load",
     "load_all",
     "load_file",
+    "load_many",
     "load_native_file",
     "load_soc_file",
     "native_to_soc",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from importlib import resources
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from ..errors import UnknownBenchmarkError
 from ..soc.model import Soc
@@ -52,6 +52,23 @@ def load_file(name: str) -> SocFile:
 def load(name: str) -> Soc:
     """Load one benchmark SOC by name."""
     return load_file(name).soc
+
+
+def load_many(names: Iterable[str]) -> Dict[str, Soc]:
+    """A subset of the benchmark SOCs, keyed by name, in Table-4 order.
+
+    Unknown names raise :class:`~repro.errors.UnknownBenchmarkError`
+    before anything loads, so a typo in a sweep's SOC list fails fast
+    rather than after the first shards have run.
+    """
+    requested = list(names)
+    unknown = [name for name in requested if name not in BENCHMARK_NAMES]
+    if unknown:
+        raise UnknownBenchmarkError(
+            f"unknown ITC'02 benchmark(s) {unknown}; choose from {BENCHMARK_NAMES}"
+        )
+    ordered = [name for name in BENCHMARK_NAMES if name in set(requested)]
+    return {name: load(name) for name in ordered}
 
 
 def load_all() -> Dict[str, Soc]:

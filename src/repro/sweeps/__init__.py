@@ -24,6 +24,7 @@ from .aggregate import (
     BinnedMean,
     FractionTrue,
     JsonlPointSink,
+    ParetoFront,
     RunningStats,
     StreamingRegression,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "BinnedMean",
     "FractionTrue",
     "JsonlPointSink",
+    "ParetoFront",
     "RunningStats",
     "ShardStore",
     "StreamingRegression",

@@ -221,6 +221,70 @@ class BinnedMean(Aggregator):
         return {"x": self.x_field, "y": self.y_field, "rows": self.rows()}
 
 
+class ParetoFront(Aggregator):
+    """Streaming non-dominated set, minimizing every field in ``fields``.
+
+    A record is dominated when some other record is no worse on every
+    objective and strictly better on at least one; only the current
+    front is held in memory.  ``keep`` lists extra (non-objective)
+    fields to carry along for labeling the surviving points.  The
+    result is sorted by the objective values (then the kept fields), so
+    it is independent of arrival order — and therefore identical for
+    serial, parallel, and resumed runs.
+    """
+
+    def __init__(self, fields: Sequence[str], keep: Sequence[str] = ()):
+        if not fields:
+            raise ValueError("ParetoFront needs at least one objective field")
+        self.fields = tuple(fields)
+        self.keep = tuple(keep)
+        self.name = f"pareto({', '.join(self.fields)})"
+        self.count = 0
+        self._front: List[Dict[str, Any]] = []
+
+    def _objectives(self, point: Mapping[str, Any]) -> List[float]:
+        return [float(point[field]) for field in self.fields]
+
+    @staticmethod
+    def _dominates(a: List[float], b: List[float]) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    def add(self, record: Mapping[str, Any]) -> None:
+        self.count += 1
+        point = {field: record[field] for field in self.fields}
+        for field in self.keep:
+            if field in record:
+                point[field] = record[field]
+        objectives = self._objectives(point)
+        kept_objectives = [self._objectives(p) for p in self._front]
+        if any(self._dominates(other, objectives) for other in kept_objectives):
+            return
+        self._front = [
+            p
+            for p, other in zip(self._front, kept_objectives)
+            if not self._dominates(objectives, other)
+        ]
+        self._front.append(point)
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The current front, deterministically sorted."""
+        def sort_key(point: Dict[str, Any]):
+            extras = tuple(str(point.get(field)) for field in self.keep)
+            return tuple(self._objectives(point)) + extras
+
+        return sorted(self._front, key=sort_key)
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "fields": list(self.fields),
+            "count": self.count,
+            "size": len(self._front),
+            "points": self.points(),
+        }
+
+
 class JsonlPointSink(Aggregator):
     """Every point record as one sorted-keys JSON line.
 

@@ -1,4 +1,32 @@
-"""TAM and wrapper-design substrate (the paper's scoped-out dimension)."""
+"""TAM and wrapper-design substrate (the paper's scoped-out dimension).
+
+The public surface is the unified co-optimization API:
+
+* :class:`TamProblem` — the instance (core test specs + TAM width),
+  built directly or via ``TamProblem.from_soc`` /
+  ``TamProblem.from_benchmark``;
+* :func:`cooptimize` — solve it with one of :data:`SCHEDULERS`
+  (``"serial"``, ``"greedy"``, ``"binpack"``), optionally under a
+  :class:`~repro.runtime.session.Runtime` for tracing;
+* :class:`CoOptResult` — schedule, per-core widths, and the full
+  test-time / test-data-volume accounting;
+* :func:`design_space` / :func:`pareto_front` — evaluate a width x
+  scheduler grid and prune it to the non-dominated points.
+
+Everything shares the typed result hierarchy rooted at
+:class:`TamResult` (``Schedule``, ``ArchitectureResult``,
+``IdleBitReport``, ``AbortOnFailStudy``, ``CoOptResult``), each
+flattening to a JSON-able record via ``as_record()`` for the sweep
+engine.
+
+Deprecated (import still works, with a :class:`DeprecationWarning`):
+``CoOptimizationResult`` (now :class:`CoOptResult`),
+``schedule_summary`` (now ``Schedule.as_record()``), and
+``time_volume_tradeoff`` (now :func:`design_space`).
+"""
+
+import warnings as _warnings
+from typing import Any
 
 from .abort_on_fail import (
     AbortOnFailStudy,
@@ -8,24 +36,8 @@ from .abort_on_fail import (
     order_shortest_first,
     study,
 )
-from .cooptimization import (
-    CoOptimizationResult,
-    ParetoPoint,
-    cooptimize,
-    pareto_widths,
-    time_volume_tradeoff,
-    width_saturation,
-)
-from .power import (
-    CorePower,
-    default_power_model,
-    peak_power,
-    schedule_power_constrained,
-    verify_power,
-)
 from .architectures import (
     ArchitectureResult,
-    CoreTestSpec,
     compare_architectures,
     core_specs_from_soc,
     daisychain_architecture,
@@ -33,31 +45,62 @@ from .architectures import (
     multiplexing_architecture,
 )
 from .idle_bits import IdleBitReport, idle_bit_report, idle_bit_sweep, useful_bits_check
+from .power import (
+    CorePower,
+    default_power_model,
+    peak_power,
+    schedule_power_constrained,
+    verify_power,
+)
+from .problem import (
+    DEFAULT_CANDIDATE_WIDTHS,
+    SCHEDULERS,
+    CoOptResult,
+    TamProblem,
+    cooptimize,
+    design_space,
+    pareto_front,
+)
 from .scheduling import (
-    Schedule,
-    ScheduledTest,
+    makespan_lower_bound,
+    schedule_best_fit,
     schedule_greedy,
     schedule_serial,
-    schedule_summary,
+)
+from .types import (
+    CoreTestSpec,
+    ParetoPoint,
+    Schedule,
+    ScheduledTest,
+    TamResult,
+    pareto_widths,
+    width_saturation,
 )
 from .wrapper_design import (
     WrapperChain,
     WrapperDesign,
     balanced_chain_lengths,
     design_wrapper,
+    partition_scan_lengths,
+    spread_level,
+    wrapper_bottlenecks,
 )
 
 __all__ = [
     "AbortOnFailStudy",
     "ArchitectureResult",
-    "FailProbability",
-    "CoOptimizationResult",
+    "CoOptResult",
     "CorePower",
-    "ParetoPoint",
     "CoreTestSpec",
+    "DEFAULT_CANDIDATE_WIDTHS",
+    "FailProbability",
     "IdleBitReport",
+    "ParetoPoint",
+    "SCHEDULERS",
     "Schedule",
     "ScheduledTest",
+    "TamProblem",
+    "TamResult",
     "WrapperChain",
     "WrapperDesign",
     "balanced_chain_lengths",
@@ -66,23 +109,56 @@ __all__ = [
     "core_specs_from_soc",
     "daisychain_architecture",
     "default_power_model",
+    "design_space",
     "design_wrapper",
     "distribution_architecture",
     "expected_abort_time",
     "idle_bit_report",
     "idle_bit_sweep",
+    "makespan_lower_bound",
     "multiplexing_architecture",
     "order_abort_aware",
     "order_shortest_first",
+    "pareto_front",
     "pareto_widths",
+    "partition_scan_lengths",
     "peak_power",
+    "schedule_best_fit",
     "schedule_greedy",
     "schedule_power_constrained",
     "schedule_serial",
-    "schedule_summary",
+    "spread_level",
     "study",
-    "time_volume_tradeoff",
     "useful_bits_check",
     "verify_power",
     "width_saturation",
+    "wrapper_bottlenecks",
 ]
+
+# Renamed/removed symbols of the pre-redesign API, kept importable
+# behind DeprecationWarning (PEP 562): the warning fires on attribute
+# access, so merely importing repro.tam stays deprecation-clean.
+_DEPRECATED = {
+    "CoOptimizationResult": "repro.tam.CoOptResult",
+    "schedule_summary": "Schedule.as_record()",
+    "time_volume_tradeoff": "repro.tam.design_space",
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _DEPRECATED:
+        _warnings.warn(
+            f"repro.tam.{name} is deprecated; use {_DEPRECATED[name]} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name == "CoOptimizationResult":
+            return CoOptResult
+        if name == "schedule_summary":
+            from .scheduling import _schedule_summary
+
+            return _schedule_summary
+        from .problem import _legacy_time_volume_tradeoff
+
+        return _legacy_time_volume_tradeoff
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

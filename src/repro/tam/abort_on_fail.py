@@ -15,9 +15,11 @@ expectation so the claim is testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import ClassVar, Dict, List, Optional, Sequence
 
+from ..errors import ConfigError
 from .architectures import CoreTestSpec, _wrapper
+from .types import TamResult
 
 
 @dataclass(frozen=True)
@@ -29,7 +31,7 @@ class FailProbability:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
-            raise ValueError(
+            raise ConfigError(
                 f"core {self.name!r}: probability must be in [0, 1]"
             )
 
@@ -84,8 +86,10 @@ def order_shortest_first(
 
 
 @dataclass
-class AbortOnFailStudy:
+class AbortOnFailStudy(TamResult):
     """Expected times under the candidate orderings, one SOC."""
+
+    kind: ClassVar[str] = "abort_on_fail"
 
     tam_width: int
     pass_time: float  # full session (all cores pass)

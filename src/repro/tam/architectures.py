@@ -14,28 +14,20 @@ or bypassed, per the paper's stated assumption.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, ClassVar, Dict, List, Optional, Sequence
 
+from ..errors import ConfigError
 from ..soc.model import Soc
+from .types import CoreTestSpec, TamResult
 from .wrapper_design import WrapperDesign, balanced_chain_lengths, design_wrapper
 
 
-@dataclass(frozen=True)
-class CoreTestSpec:
-    """What TAM design needs to know about one core's test."""
-
-    name: str
-    scan_chains: Sequence[int]
-    input_cells: int
-    output_cells: int
-    patterns: int
-
-
 @dataclass
-class ArchitectureResult:
+class ArchitectureResult(TamResult):
     """Test time and data-volume accounting for one architecture."""
+
+    kind: ClassVar[str] = "architecture"
 
     architecture: str
     tam_width: int
@@ -51,6 +43,12 @@ class ArchitectureResult:
     @property
     def idle_fraction(self) -> float:
         return self.idle_bits / self.shifted_bits if self.shifted_bits else 0.0
+
+    def as_record(self) -> Dict[str, Any]:
+        record = super().as_record()
+        record["idle_bits"] = self.idle_bits
+        record["idle_fraction"] = self.idle_fraction
+        return record
 
 
 def core_specs_from_soc(
@@ -118,7 +116,7 @@ def daisychain_architecture(
     bypass/disconnect, which the paper assumes instead.
     """
     if not specs:
-        raise ValueError("no cores")
+        raise ConfigError("no cores")
     designs = [_wrapper(spec, tam_width) for spec in specs]
     load_length = sum(max(d.max_scan_in, d.max_scan_out) for d in designs)
     max_patterns = max(spec.patterns for spec in specs)
@@ -148,7 +146,7 @@ def distribution_architecture(
     give a spare wire to the current bottleneck core.
     """
     if len(specs) > tam_width:
-        raise ValueError(
+        raise ConfigError(
             f"distribution needs at least one wire per core "
             f"({len(specs)} cores, width {tam_width})"
         )

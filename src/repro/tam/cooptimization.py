@@ -1,121 +1,57 @@
-"""Wrapper/TAM co-optimization (Iyengar, Chakrabarty & Marinissen, DATE 2002).
+"""Backwards-compatibility shim for the old co-optimization module.
 
-The classic companion problem to the paper's analysis: given a total TAM
-width, choose per-core wrapper widths and a schedule minimizing test
-time.  Two tools live here:
+The real implementation moved in the API redesign: the Pareto staircase
+lives in :mod:`repro.tam.types`, the solver behind the unified
+``TamProblem`` / :func:`~repro.tam.problem.cooptimize` /
+``CoOptResult`` surface in :mod:`repro.tam.problem`.  This module keeps
+the old import paths alive:
 
-* per-core **Pareto-optimal widths** — the staircase of TAM widths at
-  which a core's test time actually improves (adding a wire beyond a
-  bottleneck chain buys nothing);
-* a **width-enumeration co-optimizer** that, for each candidate core
-  width from the Pareto set, greedily packs the schedule and keeps the
-  best makespan.
-
-These feed the test-time side of the modular story: TDV (this paper's
-metric) and test time (the wider literature's) respond differently to
-architecture choices, which the trade-off experiment charts.
+* ``pareto_widths`` / ``width_saturation`` / ``ParetoPoint`` /
+  ``cooptimize`` re-export unchanged (still public, just relocated);
+* ``CoOptimizationResult`` and ``time_volume_tradeoff`` are deprecated
+  and emit a :class:`DeprecationWarning` on first access —
+  ``CoOptimizationResult`` *is* :class:`~repro.tam.problem.CoOptResult`
+  (every old attribute still works), and ``time_volume_tradeoff`` is
+  subsumed by :func:`~repro.tam.problem.design_space`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+import warnings
+from typing import Any
 
-from .architectures import CoreTestSpec, _wrapper
-from .scheduling import Schedule, schedule_greedy
+from .problem import CoOptResult, _legacy_time_volume_tradeoff, cooptimize
+from .types import ParetoPoint, pareto_widths, width_saturation
 
+__all__ = [
+    "CoOptimizationResult",
+    "ParetoPoint",
+    "cooptimize",
+    "pareto_widths",
+    "time_volume_tradeoff",
+    "width_saturation",
+]
 
-@dataclass(frozen=True)
-class ParetoPoint:
-    """One useful (width, test time) operating point for a core."""
-
-    width: int
-    test_time_cycles: int
-
-
-def pareto_widths(spec: CoreTestSpec, max_width: int) -> List[ParetoPoint]:
-    """The Pareto-optimal TAM widths of one core, ascending width.
-
-    A width is kept only if it strictly beats every narrower width —
-    the staircase effect of unsplittable internal scan chains: once the
-    longest chain is alone on a wire, extra wires stop helping.
-    """
-    if max_width < 1:
-        raise ValueError("max_width must be >= 1")
-    points: List[ParetoPoint] = []
-    best = None
-    for width in range(1, max_width + 1):
-        time = _wrapper(spec, width).test_time_cycles(spec.patterns)
-        if best is None or time < best:
-            points.append(ParetoPoint(width=width, test_time_cycles=time))
-            best = time
-    return points
+_DEPRECATED = {
+    "CoOptimizationResult": (
+        CoOptResult,
+        "repro.tam.CoOptResult",
+    ),
+    "time_volume_tradeoff": (
+        _legacy_time_volume_tradeoff,
+        "repro.tam.design_space",
+    ),
+}
 
 
-def width_saturation(spec: CoreTestSpec, max_width: int = 64) -> int:
-    """The width beyond which a core's test time stops improving."""
-    return pareto_widths(spec, max_width)[-1].width
-
-
-@dataclass
-class CoOptimizationResult:
-    """Best schedule found and the width assignment behind it."""
-
-    tam_width: int
-    assigned_widths: Dict[str, int]
-    schedule: Schedule
-
-    @property
-    def makespan(self) -> int:
-        return self.schedule.makespan
-
-
-def cooptimize(
-    specs: Sequence[CoreTestSpec],
-    tam_width: int,
-    candidate_widths: Sequence[int] = (1, 2, 4, 8, 16),
-) -> CoOptimizationResult:
-    """Pick one shared core width from the candidates; keep the best.
-
-    A deliberately simple co-optimizer (the literature's ILP/B&B
-    variants buy a few percent): every candidate width bounded by the
-    TAM is tried for all cores, schedules are packed greedily, and the
-    smallest makespan wins.  Deterministic.
-    """
-    if not specs:
-        raise ValueError("no cores to schedule")
-    best: CoOptimizationResult = None  # type: ignore[assignment]
-    for width in candidate_widths:
-        if width > tam_width:
-            continue
-        schedule = schedule_greedy(specs, tam_width, preferred_width=width)
-        if best is None or schedule.makespan < best.makespan:
-            best = CoOptimizationResult(
-                tam_width=tam_width,
-                assigned_widths={spec.name: min(width, tam_width) for spec in specs},
-                schedule=schedule,
-            )
-    if best is None:
-        raise ValueError("no candidate width fits the TAM")
-    return best
-
-
-def time_volume_tradeoff(
-    specs: Sequence[CoreTestSpec],
-    tam_widths: Sequence[int],
-) -> List[Tuple[int, int, int]]:
-    """(TAM width, best makespan, delivered bits) along the width axis.
-
-    Test *time* falls with TAM width while delivered test *data volume*
-    rises (idle padding) — the two-axis picture the paper's useful-bits
-    analysis deliberately projects down to one axis.
-    """
-    points = []
-    for width in tam_widths:
-        result = cooptimize(specs, width)
-        delivered = 0
-        for spec in specs:
-            design = _wrapper(spec, result.assigned_widths[spec.name])
-            delivered += spec.patterns * design.shifted_bits_per_pattern()
-        points.append((width, result.makespan, delivered))
-    return points
+def __getattr__(name: str) -> Any:
+    if name in _DEPRECATED:
+        replacement, advice = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.tam.cooptimization.{name} is deprecated; "
+            f"use {advice} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return replacement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

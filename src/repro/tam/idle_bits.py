@@ -12,17 +12,20 @@ can be checked for robustness against the abstraction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, ClassVar, Dict, List, Optional
 
 from ..core.tdv import monolithic_pattern_lower_bound, tdv_modular, tdv_monolithic
 from ..soc.model import Soc
 from .architectures import CoreTestSpec, core_specs_from_soc, _wrapper
+from .types import TamResult
 from .wrapper_design import balanced_chain_lengths
 
 
 @dataclass
-class IdleBitReport:
+class IdleBitReport(TamResult):
     """Useful vs delivered volumes for both test styles at one TAM width."""
+
+    kind: ClassVar[str] = "idle_bits"
 
     soc_name: str
     tam_width: int
@@ -52,6 +55,14 @@ class IdleBitReport:
     def delivered_ratio(self) -> float:
         """Modular over monolithic, counting idle padding too."""
         return self.delivered_modular / self.delivered_monolithic
+
+    def as_record(self) -> Dict[str, Any]:
+        record = super().as_record()
+        record["modular_idle_fraction"] = self.modular_idle_fraction
+        record["monolithic_idle_fraction"] = self.monolithic_idle_fraction
+        record["useful_ratio"] = self.useful_ratio
+        record["delivered_ratio"] = self.delivered_ratio
+        return record
 
 
 def idle_bit_report(

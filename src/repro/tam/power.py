@@ -15,8 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .architectures import CoreTestSpec, _wrapper
-from .scheduling import Schedule, ScheduledTest
+from ..errors import ConfigError, ScheduleError
+from .scheduling import _test_time
+from .types import CoreTestSpec, Schedule, ScheduledTest
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,7 @@ class CorePower:
 
     def __post_init__(self) -> None:
         if self.power < 0:
-            raise ValueError(f"core {self.name!r}: power must be >= 0")
+            raise ConfigError(f"core {self.name!r}: power must be >= 0")
 
 
 def default_power_model(specs: Sequence[CoreTestSpec]) -> Dict[str, float]:
@@ -64,18 +65,15 @@ def schedule_power_constrained(
         power = default_power_model(specs)
     width = min(preferred_width, tam_width)
     if width < 1:
-        raise ValueError("preferred_width must be >= 1")
+        raise ConfigError(f"preferred_width must be >= 1, got {preferred_width}")
     for spec in specs:
         if power[spec.name] > power_budget:
-            raise ValueError(
+            raise ConfigError(
                 f"core {spec.name!r} alone exceeds the power budget "
                 f"({power[spec.name]} > {power_budget})"
             )
 
-    durations = {
-        spec.name: _wrapper(spec, width).test_time_cycles(spec.patterns)
-        for spec in specs
-    }
+    durations = {spec.name: _test_time(spec, width) for spec in specs}
     ordered = sorted(specs, key=lambda s: -durations[s.name])
     placed: List[ScheduledTest] = []
     wire_free = [0] * tam_width
@@ -127,7 +125,11 @@ def schedule_power_constrained(
 def verify_power(
     schedule: Schedule, power: Dict[str, float], power_budget: float
 ) -> None:
-    """Assert the power budget holds at every instant of the schedule."""
+    """Check the power budget holds at every instant of the schedule.
+
+    Raises :class:`~repro.errors.ScheduleError` (an ``AssertionError``
+    subclass, so legacy handlers still catch it) on the first violation.
+    """
     events: List[Tuple[int, float]] = []
     for test in schedule.tests:
         events.append((test.start, power[test.core]))
@@ -137,7 +139,7 @@ def verify_power(
     for _time, delta in events:
         active += delta
         if active > power_budget + 1e-9:
-            raise AssertionError(
+            raise ScheduleError(
                 f"power budget {power_budget} exceeded ({active:.1f} active)"
             )
 

@@ -1,74 +1,70 @@
 """SOC test scheduling over a shared TAM budget.
 
-A light rectangle-packing scheduler in the style of the wrapper/TAM
+Rectangle-packing schedulers in the style of the wrapper/TAM
 co-optimization literature (Iyengar, Chakrabarty & Marinissen, DATE
-2002): each core's test is a rectangle (TAM wires x cycles); the
-scheduler assigns each core a width and a start time so concurrent
-tests never exceed the total width, minimizing makespan greedily.
+2002; Islam/Karim/Babu's best-fit rectangle packers): each core's test
+is a rectangle (TAM wires x cycles) and the scheduler assigns each core
+a width and a start time so concurrent tests never exceed the total
+width, minimizing makespan.
+
+Three schedulers share the :class:`~repro.tam.types.Schedule` result
+type:
+
+* :func:`schedule_serial` — every core full-width, back to back (the
+  Multiplexing architecture; the do-nothing baseline);
+* :func:`schedule_greedy` — one fixed per-core width, longest test
+  first on the earliest-free wires (shelf-style baseline);
+* :func:`schedule_best_fit` — best-fit decreasing over each core's
+  *Pareto-optimal* width candidates, ordered by normalized diagonal
+  length, placing each test where it finishes earliest with the least
+  created idle time.
+
+All schedulers are deterministic and verify the width budget before
+returning.  Errors are typed (:class:`~repro.errors.ConfigError` for
+bad parameters, :class:`~repro.errors.ScheduleError` from
+:meth:`~repro.tam.types.Schedule.verify`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+import math
+import warnings
+from typing import Any, Dict, List, Optional, Sequence
 
-from .architectures import CoreTestSpec, _wrapper
+from ..errors import ConfigError
+from .types import CoreTestSpec, ParetoPoint, Schedule, ScheduledTest, pareto_widths
+from .wrapper_design import wrapper_bottlenecks
 
-
-@dataclass(frozen=True)
-class ScheduledTest:
-    """One core's slot in the session schedule."""
-
-    core: str
-    width: int
-    start: int
-    end: int
-
-    @property
-    def duration(self) -> int:
-        return self.end - self.start
+__all__ = [
+    "Schedule",
+    "ScheduledTest",
+    "makespan_lower_bound",
+    "schedule_best_fit",
+    "schedule_greedy",
+    "schedule_serial",
+]
 
 
-@dataclass
-class Schedule:
-    """A complete SOC test schedule."""
+def _test_time(spec: CoreTestSpec, width: int) -> int:
+    """Shift-dominated test time of ``spec`` at ``width`` wires.
 
-    tam_width: int
-    tests: List[ScheduledTest]
-
-    @property
-    def makespan(self) -> int:
-        return max((test.end for test in self.tests), default=0)
-
-    def utilization(self) -> float:
-        """Occupied wire-cycles over the full width x makespan rectangle."""
-        if not self.tests or self.makespan == 0:
-            return 0.0
-        used = sum(test.width * test.duration for test in self.tests)
-        return used / (self.tam_width * self.makespan)
-
-    def verify(self) -> None:
-        """Assert the width budget is respected at every instant."""
-        events: List[Tuple[int, int]] = []
-        for test in self.tests:
-            events.append((test.start, test.width))
-            events.append((test.end, -test.width))
-        events.sort()
-        active = 0
-        for _time, delta in events:
-            active += delta
-            if active > self.tam_width:
-                raise AssertionError(
-                    f"TAM width {self.tam_width} exceeded ({active} wires in use)"
-                )
+    Duck-typed on the :class:`CoreTestSpec` fields so legacy spec
+    objects (anything with the same five attributes) still schedule.
+    """
+    si, so = wrapper_bottlenecks(
+        spec.scan_chains, spec.input_cells, spec.output_cells, width
+    )
+    return (1 + max(si, so)) * spec.patterns + min(si, so)
 
 
 def schedule_serial(specs: Sequence[CoreTestSpec], tam_width: int) -> Schedule:
     """All cores full-width, back to back (Multiplexing architecture)."""
+    if tam_width < 1:
+        raise ConfigError(f"tam_width must be >= 1, got {tam_width}")
     tests = []
     clock = 0
     for spec in specs:
-        duration = _wrapper(spec, tam_width).test_time_cycles(spec.patterns)
+        duration = _test_time(spec, tam_width)
         tests.append(ScheduledTest(spec.name, tam_width, clock, clock + duration))
         clock += duration
     return Schedule(tam_width=tam_width, tests=tests)
@@ -86,13 +82,12 @@ def schedule_greedy(
     simultaneously free — a shelf-style heuristic that is simple,
     deterministic, and respects the width budget exactly.
     """
+    if tam_width < 1:
+        raise ConfigError(f"tam_width must be >= 1, got {tam_width}")
     width = min(preferred_width, tam_width)
     if width < 1:
-        raise ValueError("preferred_width must be >= 1")
-    durations = {
-        spec.name: _wrapper(spec, width).test_time_cycles(spec.patterns)
-        for spec in specs
-    }
+        raise ConfigError(f"preferred_width must be >= 1, got {preferred_width}")
+    durations = {spec.name: _test_time(spec, width) for spec in specs}
     ordered = sorted(specs, key=lambda s: -durations[s.name])
     # Track per-wire next-free time; a test takes the `width` wires that
     # free up earliest and starts when the last of them is free.
@@ -110,9 +105,157 @@ def schedule_greedy(
     return schedule
 
 
+def schedule_best_fit(
+    specs: Sequence[CoreTestSpec],
+    tam_width: int,
+    candidate_widths: Optional[Sequence[int]] = None,
+) -> Schedule:
+    """Best-fit-decreasing rectangle packing over Pareto width candidates.
+
+    The bin-packing scheduler of the Islam/Karim/Babu line of papers,
+    adapted to the wire-granular TAM model:
+
+    1. each core's candidate rectangles are its Pareto-optimal
+       (width, time) points up to ``tam_width`` (optionally intersected
+       with ``candidate_widths``) — widths past a bottleneck chain are
+       never considered because they buy no time;
+    2. cores are ordered by decreasing *normalized diagonal length*
+       ``sqrt((w/W)^2 + (t/T)^2)`` of their preferred (fastest)
+       rectangle, so tests that are large on either axis place first,
+       while small ones fill the gaps left behind;
+    3. each core is placed *best-fit*: every candidate width is tried
+       on the earliest-free wires and the one finishing earliest wins
+       (ties broken toward less newly-created wire idle time, then the
+       narrower width).
+
+    Width safety is structural — placement assigns concrete wires, so
+    the budget cannot be exceeded — and :meth:`Schedule.verify` checks
+    it anyway.
+    """
+    if tam_width < 1:
+        raise ConfigError(f"tam_width must be >= 1, got {tam_width}")
+    if not specs:
+        return Schedule(tam_width=tam_width, tests=[])
+
+    allowed = None
+    if candidate_widths is not None:
+        allowed = {w for w in candidate_widths if 1 <= w <= tam_width}
+        if not allowed:
+            raise ConfigError(
+                f"no candidate width in {sorted(set(candidate_widths))} "
+                f"fits a TAM of width {tam_width}"
+            )
+
+    candidates: Dict[str, List[ParetoPoint]] = {}
+    for spec in specs:
+        points = [
+            ParetoPoint(width=w, test_time_cycles=_test_time(spec, w))
+            for w in range(1, tam_width + 1)
+        ]
+        staircase: List[ParetoPoint] = []
+        best = None
+        for point in points:
+            if best is None or point.test_time_cycles < best:
+                staircase.append(point)
+                best = point.test_time_cycles
+        if allowed is not None:
+            kept = [p for p in staircase if p.width in allowed]
+            # A restricted width set may skip every staircase width; fall
+            # back to the allowed widths themselves (still Pareto-pruned
+            # by the best-fit choice below).
+            staircase = kept or [
+                ParetoPoint(width=w, test_time_cycles=_test_time(spec, w))
+                for w in sorted(allowed)
+            ]
+        candidates[spec.name] = staircase
+
+    # Decreasing diagonal length of each core's fastest rectangle,
+    # normalized by the TAM width and the longest fastest-time so both
+    # axes weigh in; name-tied for determinism.
+    time_scale = max(
+        (candidates[spec.name][-1].test_time_cycles for spec in specs),
+        default=0,
+    ) or 1
+    def diagonal(spec: CoreTestSpec) -> float:
+        point = candidates[spec.name][-1]
+        return math.sqrt(
+            (point.width / tam_width) ** 2
+            + (point.test_time_cycles / time_scale) ** 2
+        )
+    ordered = sorted(specs, key=lambda s: (-diagonal(s), s.name))
+
+    wire_free = [0] * tam_width
+    tests: List[ScheduledTest] = []
+    for spec in ordered:
+        best_key = None
+        best_place = None
+        # Wires sorted by next-free time once per core: for any width w
+        # the w earliest-free wires minimize the start time (the max of
+        # the w smallest free times).
+        by_free = sorted(range(tam_width), key=wire_free.__getitem__)
+        for point in candidates[spec.name]:
+            wires = by_free[: point.width]
+            start = wire_free[wires[-1]]
+            end = start + point.test_time_cycles
+            waste = sum(start - wire_free[w] for w in wires)
+            key = (end, waste, point.width)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_place = (point, wires, start, end)
+        assert best_place is not None  # candidates are never empty
+        point, wires, start, end = best_place
+        for w in wires:
+            wire_free[w] = end
+        tests.append(ScheduledTest(spec.name, point.width, start, end))
+    schedule = Schedule(tam_width=tam_width, tests=tests)
+    schedule.verify()
+    return schedule
+
+
+def makespan_lower_bound(specs: Sequence[CoreTestSpec], tam_width: int) -> int:
+    """A simple lower bound no schedule at this width can beat.
+
+    The larger of (a) the slowest core's best achievable time — some
+    test must run that long — and (b) the total minimum rectangle area
+    spread perfectly over all wires.
+    """
+    if tam_width < 1:
+        raise ConfigError(f"tam_width must be >= 1, got {tam_width}")
+    if not specs:
+        return 0
+    best_times = []
+    min_area = 0
+    for spec in specs:
+        staircase = pareto_widths(spec, tam_width)
+        best_times.append(staircase[-1].test_time_cycles)
+        min_area += min(point.area for point in staircase)
+    return max(max(best_times), math.ceil(min_area / tam_width))
+
+
+_DEPRECATED = {
+    "schedule_summary": "Schedule.as_record()",
+}
+
+
 def schedule_summary(schedule: Schedule) -> Dict[str, float]:
     return {
         "makespan": float(schedule.makespan),
         "utilization": schedule.utilization(),
         "tests": float(len(schedule.tests)),
     }
+
+
+_schedule_summary = schedule_summary
+del schedule_summary
+
+
+def __getattr__(name: str) -> Any:
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"repro.tam.scheduling.{name} is deprecated; "
+            f"use {_DEPRECATED[name]} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return globals()[f"_{name}"]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

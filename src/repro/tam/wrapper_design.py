@@ -11,8 +11,11 @@ Section 3 excludes from its comparative analysis and that
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigError
 
 
 @dataclass
@@ -98,11 +101,11 @@ def design_wrapper(
     internal chains are not split, mirroring real wrapper design rules.
     """
     if tam_width < 1:
-        raise ValueError(f"tam_width must be >= 1, got {tam_width}")
+        raise ConfigError(f"tam_width must be >= 1, got {tam_width}")
     chains = [WrapperChain() for _ in range(tam_width)]
     for length in sorted(scan_chains, reverse=True):
         if length < 0:
-            raise ValueError("scan chain lengths must be >= 0")
+            raise ConfigError("scan chain lengths must be >= 0")
         shortest = min(chains, key=lambda c: c.scan_length)
         shortest.scan_chains.append(length)
     _spread_cells(chains, input_cells, attr="input_cells", key=lambda c: c.scan_in_length)
@@ -118,7 +121,7 @@ def _spread_cells(chains: List[WrapperChain], cells: int, attr: str, key) -> Non
     optimal for the bottleneck length.
     """
     if cells < 0:
-        raise ValueError("cell counts must be >= 0")
+        raise ConfigError("cell counts must be >= 0")
     for _ in range(cells):
         shortest = min(chains, key=key)
         setattr(shortest, attr, getattr(shortest, attr) + 1)
@@ -127,7 +130,87 @@ def _spread_cells(chains: List[WrapperChain], cells: int, attr: str, key) -> Non
 def balanced_chain_lengths(total_cells: int, chain_count: int) -> List[int]:
     """The paper's "perfectly balanced" internal-chain assumption."""
     if chain_count < 1:
-        raise ValueError("chain_count must be >= 1")
+        raise ConfigError("chain_count must be >= 1")
     base = total_cells // chain_count
     extra = total_cells % chain_count
     return [base + (1 if i < extra else 0) for i in range(chain_count)]
+
+
+# -- closed-form fast path ---------------------------------------------------
+#
+# The co-optimizer enumerates a core's whole Pareto staircase (every TAM
+# width 1..W), and the tam experiment does that for every core of every
+# ITC'02 SOC.  Materializing a WrapperDesign per width is O(cells) per
+# wrapper because _spread_cells places wrapper cells one at a time; the
+# functions below compute only the two numbers the cost model needs —
+# the scan-in/scan-out bottleneck lengths — in O(chains log width).
+# They are differentially tested against design_wrapper.
+
+
+def partition_scan_lengths(
+    scan_chains: Sequence[int], tam_width: int
+) -> List[int]:
+    """Per-wrapper-chain internal scan lengths after LPT assignment.
+
+    Replays :func:`design_wrapper`'s longest-first / currently-shortest
+    assignment on a heap keyed ``(length, chain_index)`` — the same
+    chain ``min()`` would pick, including ties — and returns just the
+    resulting lengths, indexed by wrapper chain.
+    """
+    if tam_width < 1:
+        raise ConfigError(f"tam_width must be >= 1, got {tam_width}")
+    heap: List[Tuple[int, int]] = [(0, index) for index in range(tam_width)]
+    lengths = [0] * tam_width
+    for length in sorted(scan_chains, reverse=True):
+        if length < 0:
+            raise ConfigError("scan chain lengths must be >= 0")
+        current, index = heapq.heappop(heap)
+        lengths[index] = current + length
+        heapq.heappush(heap, (lengths[index], index))
+    return lengths
+
+
+def spread_level(lengths: Sequence[int], cells: int) -> int:
+    """Bottleneck after greedily spreading ``cells`` over ``lengths``.
+
+    Equals ``max(chain lengths)`` after :func:`_spread_cells` adds
+    ``cells`` single-register wrapper cells one at a time to the current
+    minimum: water-filling — the cells fill the valleys below the
+    existing top first, and only a surplus raises the bottleneck, to the
+    least level whose capacity ``sum(max(0, level - s))`` holds them all.
+    """
+    if cells < 0:
+        raise ConfigError("cell counts must be >= 0")
+    if not lengths:
+        raise ConfigError("need at least one chain to spread cells over")
+    top = max(lengths)
+    if sum(top - s for s in lengths) >= cells:
+        return top
+    low, high = top, top + cells
+    while low < high:
+        mid = (low + high) // 2
+        if sum(mid - s for s in lengths) >= cells:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def wrapper_bottlenecks(
+    scan_chains: Sequence[int],
+    input_cells: int,
+    output_cells: int,
+    tam_width: int,
+) -> Tuple[int, int]:
+    """``(max_scan_in, max_scan_out)`` of the LPT wrapper, closed-form.
+
+    Input and output cells spread independently over the same internal
+    scan partition (a wrapper cell sits on only one of the two paths),
+    so each bottleneck is one :func:`spread_level` over the
+    :func:`partition_scan_lengths` baseline.
+    """
+    lengths = partition_scan_lengths(scan_chains, tam_width)
+    return (
+        spread_level(lengths, input_cells),
+        spread_level(lengths, output_cells),
+    )

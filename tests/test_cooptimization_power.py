@@ -4,13 +4,14 @@ import pytest
 
 from repro.tam import (
     CoreTestSpec,
+    TamProblem,
     cooptimize,
     default_power_model,
+    design_space,
     pareto_widths,
     peak_power,
     schedule_greedy,
     schedule_power_constrained,
-    time_volume_tradeoff,
     verify_power,
     width_saturation,
 )
@@ -51,28 +52,32 @@ class TestPareto:
 
 class TestCooptimize:
     def test_beats_or_matches_fixed_width(self, specs):
-        result = cooptimize(specs, tam_width=12)
+        result = cooptimize(TamProblem(cores=specs, tam_width=12))
         for width in (1, 2, 4, 8):
             fixed = schedule_greedy(specs, 12, preferred_width=width)
             assert result.makespan <= fixed.makespan
 
     def test_schedule_is_valid(self, specs):
-        result = cooptimize(specs, tam_width=12)
+        result = cooptimize(TamProblem(cores=specs, tam_width=12))
         result.schedule.verify()
         assert set(result.assigned_widths) == {"a", "b", "c", "d"}
 
     def test_no_cores_rejected(self):
         with pytest.raises(ValueError, match="no cores"):
-            cooptimize([], tam_width=4)
+            TamProblem(cores=[], tam_width=4)
 
     def test_no_feasible_candidate_rejected(self, specs):
+        problem = TamProblem(cores=specs, tam_width=4)
         with pytest.raises(ValueError, match="no candidate"):
-            cooptimize(specs, tam_width=4, candidate_widths=(8, 16))
+            cooptimize(problem, candidate_widths=(8, 16), scheduler="greedy")
 
     def test_tradeoff_time_falls_volume_rises(self, specs):
-        points = time_volume_tradeoff(specs, tam_widths=[2, 4, 8, 16])
-        times = [p[1] for p in points]
-        volumes = [p[2] for p in points]
+        problem = TamProblem(cores=specs, tam_width=16)
+        results = design_space(
+            problem, tam_widths=[2, 4, 8, 16], schedulers=("greedy",)
+        )
+        times = [r.makespan for r in results]
+        volumes = [r.delivered_bits for r in results]
         assert times == sorted(times, reverse=True)
         assert volumes == sorted(volumes)
 

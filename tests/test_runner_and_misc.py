@@ -10,7 +10,7 @@ class TestRunnerCli:
     def test_experiment_list_is_complete(self):
         assert set(EXPERIMENTS) == {
             "cone-example", "table1", "table2", "table3", "table4",
-            "correlation", "ablation", "extensions", "population",
+            "correlation", "ablation", "extensions", "tam", "population",
         }
 
     def test_runner_main_single(self, capsys):

@@ -37,6 +37,7 @@ from repro.sweeps import (
     BinnedMean,
     FractionTrue,
     JsonlPointSink,
+    ParetoFront,
     RunningStats,
     ShardStore,
     StreamingRegression,
@@ -245,6 +246,37 @@ class TestAggregators:
         assert rows[1]["mean"] == pytest.approx(30.0)
         with pytest.raises(ValueError, match="ascending"):
             BinnedMean("x", "y", edges=(4.0, 2.0))
+
+    def test_pareto_front_keeps_non_dominated(self):
+        front = ParetoFront(fields=("w", "t"), keep=("label",))
+        front.add({"w": 8, "t": 100, "label": "a"})
+        front.add({"w": 4, "t": 200, "label": "b"})
+        front.add({"w": 8, "t": 150, "label": "dominated"})
+        front.add({"w": 2, "t": 400, "label": "c"})
+        points = front.points()
+        assert [p["label"] for p in points] == ["c", "b", "a"]
+        assert front.count == 4
+        assert front.result()["size"] == 3
+
+    def test_pareto_front_is_arrival_order_independent(self):
+        records = [{"w": w, "t": 100 - 3 * w, "extra": w % 2} for w in range(12)]
+        forward, backward = ParetoFront(("w", "t")), ParetoFront(("w", "t"))
+        for record in records:
+            forward.add(record)
+        for record in reversed(records):
+            backward.add(record)
+        assert forward.points() == backward.points()
+
+    def test_pareto_front_evicts_newly_dominated(self):
+        front = ParetoFront(fields=("w", "t"))
+        front.add({"w": 4, "t": 100})
+        front.add({"w": 8, "t": 50})
+        front.add({"w": 4, "t": 50})  # dominates both
+        assert front.points() == [{"w": 4, "t": 50}]
+
+    def test_pareto_front_rejects_empty_fields(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ParetoFront(fields=())
 
     def test_jsonl_sink_rewrites_from_scratch(self, tmp_path):
         path = tmp_path / "points.jsonl"
@@ -489,7 +521,7 @@ class TestExperimentRegistry:
 
         assert EXPERIMENTS == (
             "cone-example", "table1", "table2", "table3", "table4",
-            "correlation", "ablation", "extensions", "population",
+            "correlation", "ablation", "extensions", "tam", "population",
         )
 
     def test_unknown_name_raises(self):

@@ -12,7 +12,6 @@ from repro.tam import (
     multiplexing_architecture,
     schedule_greedy,
     schedule_serial,
-    schedule_summary,
 )
 
 
@@ -123,10 +122,13 @@ class TestScheduling:
         with pytest.raises(AssertionError):
             schedule.verify()
 
-    def test_summary_fields(self, specs):
-        summary = schedule_summary(schedule_serial(specs, tam_width=4))
-        assert set(summary) == {"makespan", "utilization", "tests"}
-        assert summary["tests"] == 3.0
+    def test_record_fields(self, specs):
+        record = schedule_serial(specs, tam_width=4).as_record()
+        assert record["kind"] == "schedule"
+        assert record["tam_width"] == 4
+        assert record["tests"] == 3
+        assert record["makespan"] > 0
+        assert record["utilization"] == 1.0
 
     def test_empty_schedule(self):
         schedule = schedule_serial([], tam_width=4)
