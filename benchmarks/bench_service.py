@@ -1,0 +1,91 @@
+"""The job service under load: 1000+ jobs, two tenants, one server.
+
+Not a paper artifact — this pins the throughput and fairness of the
+``repro.service`` stack (accept → spool → fair-share queue → executor
+batches → respond) and enforces the service's acceptance bar:
+
+* the harness sustains >= 1000 queued jobs across >= 2 tenants;
+* scheduling is fair — the max prefix imbalance of per-tenant
+  completion counts stays at round-robin levels;
+* results fetched over the API are **byte-identical** to running the
+  same (netlist, config) pairs through a direct in-process Runtime.
+
+The report lands in ``BENCH_service.json`` (override via
+``BENCH_SERVICE_JSON``), which the CI service smoke job publishes as
+an artifact.
+
+Run standalone (no pytest) with::
+
+    python -m repro bench --jobs 1000 --tenants 2 --out BENCH_service.json
+"""
+
+import json
+import os
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.loadtest import (
+    LoadPlan,
+    build_payloads,
+    kill_server,
+    run_load,
+    spawn_server,
+    verify_against_runtime,
+)
+
+JOBS = int(os.environ.get("BENCH_SERVICE_JOBS", "1000"))
+TENANTS = 2
+
+
+def _report_path():
+    return os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+
+
+def test_bench_service_load(benchmark, tmp_path):
+    # circuits * seeds = 900 < jobs: ~10% of submissions duplicate an
+    # in-flight key, so single-flight and the shared cache both see
+    # real traffic while ~900 jobs genuinely queue and execute.
+    plan = LoadPlan(jobs=JOBS, tenants=TENANTS, circuits=6,
+                    seeds=max(1, (9 * JOBS) // (10 * 6)),
+                    inputs=10, outputs=3, target_gates=28)
+    payloads = build_payloads(plan)
+    process, port = spawn_server(
+        ["--batch-size", "32", "--cache-dir", str(tmp_path / "cache")]
+    )
+    try:
+        client = ServiceClient(port=port)
+
+        def load():
+            return run_load(client, payloads, pause_during_submit=True)
+
+        start = time.perf_counter()
+        report = benchmark.pedantic(load, rounds=1, iterations=1)
+        seconds = time.perf_counter() - start
+
+        report["verification"] = verify_against_runtime(
+            client, payloads, sample=4
+        )
+        report["wall_seconds"] = round(seconds, 3)
+        with open(_report_path(), "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        # The acceptance bar.
+        assert report["jobs_submitted"] >= JOBS
+        assert len(report["tenants"]) >= TENANTS
+        assert report["states"].get("done", 0) == report["jobs_submitted"]
+        assert report["states"].get("failed", 0) == 0
+        # Round-robin fairness: the completion-order imbalance between
+        # the tenants must stay at interleave levels, far below the
+        # one-sided drain a plain FIFO would give (~jobs/tenants).
+        assert (
+            report["fairness_max_prefix_imbalance_scheduled"] <= 2 * TENANTS
+        )
+        # Transport, not transformation: service bytes == Runtime bytes.
+        assert report["verification"]["byte_identical"]
+        print(f"\nservice load: {report['jobs_submitted']} jobs, "
+              f"{report['jobs_per_second']} jobs/s, "
+              f"imbalance {report['fairness_max_prefix_imbalance']}, "
+              f"dedup {report['deduped_submissions']}")
+    finally:
+        kill_server(process)

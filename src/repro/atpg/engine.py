@@ -9,10 +9,8 @@ paper consumes.  The flow is deterministic for a given seed.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
-
-import warnings
 
 from ..circuit.cones import Cone, extract_cones
 from ..circuit.netlist import Netlist
@@ -423,8 +421,6 @@ def _verify_and_prune(
 def generate_n_detect_tests(
     netlist: Netlist,
     n_detect: int = 3,
-    seed: Optional[int] = None,
-    backtrack_limit: Optional[int] = None,
     max_passes: Optional[int] = None,
     config: Optional[AtpgConfig] = None,
     workers: int = 1,
@@ -444,28 +440,15 @@ def generate_n_detect_tests(
     the full quota.
 
     The engine knobs belong in ``config``
-    (:class:`~repro.runtime.config.AtpgConfig`); the loose ``seed`` /
-    ``backtrack_limit`` keywords are deprecated shims kept for one
-    release, and ``config`` wins over them as it always has.
-    ``workers`` fans the verification and quota-charging fault
-    simulations out across processes (bit-identical for any count) and,
-    like the engine's, stays out of ``config``.
+    (:class:`~repro.runtime.config.AtpgConfig`): the loose ``seed`` /
+    ``backtrack_limit`` keywords of earlier releases are gone — passing
+    them is a :class:`TypeError` now.  ``workers`` fans the
+    verification and quota-charging fault simulations out across
+    processes (bit-identical for any count) and, like the engine's,
+    stays out of ``config``.
     """
-    if seed is not None or backtrack_limit is not None:
-        warnings.warn(
-            "generate_n_detect_tests(seed=..., backtrack_limit=...) is "
-            "deprecated; pass config=AtpgConfig(seed=..., "
-            "backtrack_limit=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    if seed is None:
-        seed = 0
-    if backtrack_limit is None:
-        backtrack_limit = 100
-    if config is not None:
-        seed = config.seed
-        backtrack_limit = config.backtrack_limit
+    seed = config.seed if config is not None else 0
+    backtrack_limit = config.backtrack_limit if config is not None else 100
     if n_detect < 1:
         raise ValueError(f"n_detect must be >= 1, got {n_detect}")
     circuit = CompiledCircuit(
@@ -557,9 +540,6 @@ def extract_cone_netlist(netlist: Netlist, cone: Cone) -> Netlist:
 def per_cone_pattern_counts(
     netlist: Netlist,
     runtime=None,
-    *,
-    seed: Optional[int] = None,
-    backtrack_limit: Optional[int] = None,
 ) -> Dict[str, int]:
     """Stand-alone ATPG pattern count for every logic cone.
 
@@ -572,25 +552,14 @@ def per_cone_pattern_counts(
     cache, and worker fan-out for the per-cone runs; without one, the
     historical defaults apply (seed 0, backtrack limit 50 — cones are
     small, so the tighter limit loses nothing).  The loose ``seed`` /
-    ``backtrack_limit`` keywords are deprecated shims kept for one
-    release; they override the corresponding config fields.
+    ``backtrack_limit`` keywords of earlier releases are gone — passing
+    them is a :class:`TypeError` now.
     """
     # Imported lazily: the engine sits below the runtime facade.
     from ..runtime.executor import AtpgJob
     from ..runtime.session import ensure_runtime
 
-    if seed is not None or backtrack_limit is not None:
-        warnings.warn(
-            "per_cone_pattern_counts(seed=..., backtrack_limit=...) is "
-            "deprecated; pass runtime=Runtime(config=AtpgConfig(...)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
     config = runtime.config if runtime is not None else AtpgConfig(backtrack_limit=50)
-    if seed is not None:
-        config = config.with_seed(seed)
-    if backtrack_limit is not None:
-        config = replace(config, backtrack_limit=backtrack_limit)
     runtime = ensure_runtime(runtime)
 
     cones = extract_cones(netlist)

@@ -1,4 +1,4 @@
-"""Command-line runner: ``repro-experiments <name>``.
+"""The experiment registry runner behind ``repro experiments <name>``.
 
 Experiments map one-to-one to the paper's tables and figures:
 
@@ -35,16 +35,29 @@ each experiment keeps its historical default seed (it used to be
 silently dropped for everything except tables 1-2); the analytic
 experiments (table3/table4, correlation's benchmark half, ablation)
 have no stochastic component and ignore it by construction.
+
+The flag plumbing itself (``add_runtime_arguments`` & co.) lives in
+the shared registry :mod:`repro.flags`; the historical names are
+re-exported here so pre-consolidation imports keep working.  The old
+``repro-experiments`` console script forwards to ``repro experiments``
+with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import argparse
 import inspect
 import sys
-from contextlib import contextmanager
+import warnings
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from ..flags import (  # noqa: F401 — re-exported for back-compat
+    add_experiment_arguments,
+    add_runtime_arguments,
+    experiment_options,
+    maybe_profile,
+    report_runtime,
+    runtime_from_args,
+)
 from ..observability import register_counter
 from ..runtime.session import Runtime, ensure_runtime
 from . import (  # noqa: F401 — importing registers each experiment
@@ -130,218 +143,23 @@ def run_experiments(
         print()
 
 
-def _worker_count(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return value
-
-
-def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
-    """The execution flags shared by both CLIs (see also repro.cli)."""
-    parser.add_argument(
-        "--workers", type=_worker_count, default=1, metavar="N",
-        help="worker processes for per-core/per-circuit ATPG fan-out "
-             "(default: 1, serial)",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="ATPG result cache directory (default: $REPRO_CACHE_DIR "
-             "or ~/.cache/repro/atpg)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the ATPG result cache entirely",
-    )
-    parser.add_argument(
-        "--backend", choices=("auto", "pure", "numpy"), default=None,
-        help="fault-simulation kernel backend (default: $REPRO_BACKEND "
-             "or auto; every backend is bit-identical)",
-    )
-    parser.add_argument(
-        "--trace", default=None, metavar="FILE",
-        help="write a JSONL span/counter trace of the whole run to FILE",
-    )
-    parser.add_argument(
-        "--metrics", action="store_true",
-        help="print the telemetry summary table to stderr after the run",
-    )
-    parser.add_argument(
-        "--deadline", type=float, default=None, metavar="SECONDS",
-        help="per-job wall-clock deadline; a job past it aborts "
-             "cooperatively with a timeout (default: none)",
-    )
-    parser.add_argument(
-        "--retries", type=int, default=None, metavar="N",
-        help="re-attempt failed jobs up to N extra times (implies "
-             "--on-error retry; timeouts retry under a perturbed seed)",
-    )
-    parser.add_argument(
-        "--on-error", choices=("raise", "skip", "retry"), default="raise",
-        help="what a failed job does to the run: raise (default), skip "
-             "(record and continue), or retry",
-    )
-    parser.add_argument(
-        "--run-dir", default=None, metavar="DIR",
-        help="journal every completed job to DIR (jobs/ + manifest.json) "
-             "so a killed run can be resumed",
-    )
-    parser.add_argument(
-        "--profile", default=None, metavar="FILE",
-        help="run under cProfile and dump pstats data to FILE "
-             "(parent process only; inspect with python -m pstats FILE)",
-    )
-    parser.add_argument(
-        "--resume", action="store_true",
-        help="resume the run journaled in --run-dir: journaled jobs are "
-             "skipped, output is bit-identical to an uninterrupted run",
-    )
-
-
-def _int_list(text: str) -> List[int]:
-    try:
-        values = [int(part) for part in text.split(",") if part.strip()]
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected comma-separated integers, got {text!r}"
-        )
-    if not values:
-        raise argparse.ArgumentTypeError("expected at least one integer")
-    return values
-
-
-def _str_list(text: str) -> List[str]:
-    values = [part.strip() for part in text.split(",") if part.strip()]
-    if not values:
-        raise argparse.ArgumentTypeError("expected at least one name")
-    return values
-
-
-def add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
-    """Experiment-specific flags, shared by both CLIs.
-
-    Each flag maps to a keyword argument of one experiment's ``run``;
-    the runner threads it only into experiments that accept it.
-    """
-    from ..tam import SCHEDULERS
-
-    group = parser.add_argument_group("tam experiment")
-    group.add_argument(
-        "--tam-widths", type=_int_list, default=None, metavar="W,W,...",
-        help="TAM widths to sweep, comma-separated "
-             "(default: 8,16,24,32,48,64)",
-    )
-    group.add_argument(
-        "--tam-socs", type=_str_list, default=None, metavar="SOC,SOC,...",
-        help="ITC'02 SOCs to sweep, comma-separated "
-             "(default: the full ten-SOC suite)",
-    )
-    group.add_argument(
-        "--scheduler", choices=SCHEDULERS, default=None,
-        help="restrict the sweep to one test scheduler "
-             "(default: greedy and binpack, so their makespans compare)",
-    )
-    group.add_argument(
-        "--tam-front", default=None, metavar="FILE",
-        help="write the surviving (width, makespan, TDV) Pareto front "
-             "as a JSON artifact to FILE",
-    )
-
-
-def experiment_options(args: argparse.Namespace) -> Dict[str, Any]:
-    """The experiment keyword options the parsed flags describe."""
-    mapping = {
-        "tam_widths": getattr(args, "tam_widths", None),
-        "socs": getattr(args, "tam_socs", None),
-        "scheduler": getattr(args, "scheduler", None),
-        "front_path": getattr(args, "tam_front", None),
-    }
-    return {key: value for key, value in mapping.items() if value is not None}
-
-
-@contextmanager
-def maybe_profile(args: argparse.Namespace):
-    """cProfile the enclosed block when ``--profile FILE`` was given.
-
-    The pstats dump lands on FILE even if the block raises, so a
-    profile of a run that died at its deadline is still inspectable.
-    Worker processes are not profiled — run with ``--workers 1`` to
-    see the whole flow in one profile.
-    """
-    path = getattr(args, "profile", None)
-    if not path:
-        yield
-        return
-    import cProfile
-
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        yield
-    finally:
-        profiler.disable()
-        profiler.dump_stats(path)
-        print(f"[profile] wrote {path}", file=sys.stderr)
-
-
-def runtime_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> Runtime:
-    """Build the Runtime the shared flags describe."""
-    return Runtime.from_flags(
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        no_cache=args.no_cache,
-        seed=seed,
-        trace=args.trace,
-        metrics=args.metrics,
-        deadline=args.deadline,
-        retries=args.retries,
-        on_error=args.on_error,
-        run_dir=args.run_dir,
-        resume=args.resume,
-        backend=getattr(args, "backend", None),
-    )
-
-
-def report_runtime(runtime: Runtime) -> None:
-    """Print the run manifest and telemetry to stderr (stdout carries
-    only tables)."""
-    if runtime.manifest.job_count:
-        print(f"[runtime] {runtime.summary()}", file=sys.stderr)
-    tracer = runtime.tracer
-    if tracer is None:
-        return
-    if runtime.metrics_requested:
-        print(f"[metrics]\n{tracer.summary()}", file=sys.stderr)
-    tracer.flush()
-    if runtime.trace_path:
-        print(f"[trace] wrote {runtime.trace_path}", file=sys.stderr)
-
-
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Reproduce the paper's tables and figures.",
+    """Deprecated entry point: ``repro-experiments`` became
+    ``repro experiments``.
+
+    The shim forwards verbatim to the unified CLI (identical flags,
+    identical behavior) and will be removed after one release.
+    """
+    warnings.warn(
+        "the repro-experiments entry point is deprecated; "
+        "use `repro experiments <name> ...` instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which table/figure to regenerate",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=None,
-        help="ATPG/generation seed, threaded into every experiment "
-             "(default: each experiment's historical seed)",
-    )
-    add_runtime_arguments(parser)
-    add_experiment_arguments(parser)
-    args = parser.parse_args(argv)
-    runtime = runtime_from_args(args)
-    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    with maybe_profile(args):
-        run_experiments(names, seed=args.seed, runtime=runtime,
-                        options=experiment_options(args))
-    report_runtime(runtime)
-    return 0
+    from ..cli import main as cli_main
+
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    return cli_main(["experiments"] + arguments)
 
 
 if __name__ == "__main__":

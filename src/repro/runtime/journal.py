@@ -24,6 +24,8 @@ cache entries (:mod:`repro.runtime.cache`).
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -74,6 +76,11 @@ class RunJournal:
     def _path(self, key: str) -> Path:
         return self.jobs_dir / f"{key}.json"
 
+    @staticmethod
+    def _tmp_name(name: str) -> str:
+        """A tmp filename no other live writer can be using."""
+        return f"{name}.{os.getpid()}.{threading.get_ident()}.tmp"
+
     def get(self, key: str) -> Optional[AtpgResult]:
         """The journaled result under ``key``, or None.
 
@@ -105,7 +112,14 @@ class RunJournal:
     def record(
         self, key: str, name: str, config: AtpgConfig, result: AtpgResult
     ) -> None:
-        """Durably journal one fresh result (atomic write)."""
+        """Durably journal one fresh result (atomic, concurrency-safe).
+
+        The tmp file name includes the pid and thread id, so concurrent
+        writers — the job service journaling batches while a CLI run
+        shares the directory, or two resumed runs racing — can never
+        interleave on one tmp path; last rename wins with a complete
+        file either way.
+        """
         payload = {
             "schema": SCHEMA_VERSION,
             "key": key,
@@ -114,7 +128,7 @@ class RunJournal:
             "result": atpg_result_to_dict(result),
         }
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_name(self._tmp_name(path.name))
         tmp.write_text(json.dumps(payload, sort_keys=True))
         tmp.replace(path)
         get_tracer().count(JOURNAL_RECORDS)
@@ -141,10 +155,15 @@ class RunJournal:
         )
 
     def write_manifest(self) -> Path:
-        """(Re)write ``manifest.json`` — deterministic bytes, no clocks."""
+        """(Re)write ``manifest.json`` — deterministic bytes, no clocks.
+
+        Same per-writer tmp discipline as :meth:`record`: concurrent
+        writers sharing the directory each rename a complete file into
+        place, never a torn mix.
+        """
         payload = {"schema": SCHEMA_VERSION, "jobs": self.completed}
         path = self.directory / "manifest.json"
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_name(self._tmp_name("manifest.json"))
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
         tmp.replace(path)
         return path

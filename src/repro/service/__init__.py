@@ -1,0 +1,56 @@
+"""ATPG-as-a-service: a job server over the repro runtime stack.
+
+The package turns the in-process runtime (executor + cache + journal)
+into a long-lived multi-tenant service without adding a single
+dependency — asyncio, raw HTTP/1.1 framing, JSON bodies:
+
+``repro.service.config``
+    :class:`ServiceConfig` — the frozen, validated deployment identity
+    of one server process (no environment side channels).
+``repro.service.jobs``
+    :class:`ServiceJob` / :class:`JobState` — one submission's
+    lifecycle, its API/manifest/spool representations.
+``repro.service.queue``
+    :class:`FairShareQueue` (per-tenant round-robin) and
+    :class:`TokenBucket` (admission rate limiting).
+``repro.service.spool``
+    :class:`SubmissionSpool` — accepted-but-unfinished work made
+    durable, so a killed server resumes its queue byte-identically.
+``repro.service.server``
+    :class:`JobServer` — the asyncio event loop: accept → fair-share
+    queue → executor batches → respond, with single-flight dedupe and
+    the shared content-addressed cache.
+``repro.service.client``
+    :class:`ServiceClient` — the stdlib client; server-side typed
+    errors re-raise client-side by type.
+``repro.service.loadtest``
+    The multi-tenant load harness behind ``repro bench`` and the CI
+    smoke job.
+"""
+
+from .client import ServiceClient
+from .config import ServiceConfig
+from .jobs import (
+    DEFAULT_TENANT,
+    JobState,
+    ServiceJob,
+    job_from_submission,
+    submission_payload,
+)
+from .queue import FairShareQueue, TokenBucket
+from .server import JobServer
+from .spool import SubmissionSpool
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "FairShareQueue",
+    "JobServer",
+    "JobState",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceJob",
+    "SubmissionSpool",
+    "TokenBucket",
+    "job_from_submission",
+    "submission_payload",
+]

@@ -1,0 +1,174 @@
+"""The thin stdlib client for the ATPG job service.
+
+:class:`ServiceClient` speaks the server's JSON-over-HTTP API with
+nothing beyond ``http.client``.  Server-side rejections arrive as
+``{"error": {"type": ..., "message": ...}}`` payloads and are re-raised
+*by type*: a quota rejection raises the same
+:class:`~repro.errors.QuotaExceededError` on the client that the server
+raised, so callers handle remote failures exactly like local ones.
+
+Typical round trip::
+
+    client = ServiceClient(port=port)
+    info = client.submit(netlist, AtpgConfig(seed=3), tenant="team-a")
+    done = client.wait(info["id"])
+    result = client.result(info["id"])       # a real AtpgResult
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from .. import errors as _errors
+from ..atpg.engine import AtpgResult
+from ..circuit.netlist import Netlist
+from ..core.serialization import atpg_result_from_dict
+from ..errors import JobStateError, ServiceError
+from ..runtime.config import AtpgConfig
+from .jobs import DEFAULT_TENANT, submission_payload
+
+
+def _raise_remote(status: int, payload: Any) -> None:
+    """Re-raise a server error payload as its typed exception."""
+    detail = payload.get("error", {}) if isinstance(payload, dict) else {}
+    type_name = detail.get("type", "ServiceError")
+    message = detail.get("message", f"service returned HTTP {status}")
+    exc_type = getattr(_errors, type_name, None)
+    if not (isinstance(exc_type, type) and issubclass(exc_type, Exception)):
+        exc_type = ServiceError
+    raise exc_type(message)
+
+
+class ServiceClient:
+    """A connection-per-request client for one job server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else None
+            )
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+            if response.status >= 400:
+                _raise_remote(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # -- service-level calls ---------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def pause(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/admin/pause")
+
+    def resume(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/admin/resume")
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/admin/shutdown")
+
+    # -- job calls -------------------------------------------------------
+
+    def submit_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a raw JSON body; returns ``{"job": ..., "deduped": ...}``."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def submit(
+        self,
+        netlist: Netlist,
+        config: Optional[AtpgConfig] = None,
+        tenant: str = DEFAULT_TENANT,
+        name: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit one (netlist, config) run; returns the job info dict."""
+        reply = self.submit_payload(
+            submission_payload(netlist, config, tenant=tenant, name=name)
+        )
+        info = reply["job"]
+        info["deduped"] = reply.get("deduped", info.get("deduped", False))
+        return info
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    def result(self, job_id: str) -> AtpgResult:
+        """The finished job's :class:`AtpgResult` (typed errors otherwise)."""
+        payload = self._request("GET", f"/v1/jobs/{job_id}/result")
+        return atpg_result_from_dict(payload["result"])
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final info."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            info = self.job(job_id)
+            if info["state"] in ("done", "failed", "cancelled"):
+                return info
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobStateError(
+                    f"job {job_id} still {info['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the job's state transitions (JSONL) until terminal."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                _raise_remote(
+                    response.status,
+                    json.loads(data.decode("utf-8")) if data else {},
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()

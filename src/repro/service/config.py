@@ -1,0 +1,161 @@
+"""The frozen, typed configuration of one job-server process.
+
+Everything the server's behavior depends on — bind address, tenancy
+limits, executor policy, durability directories — lives in one
+:class:`ServiceConfig` value, validated at construction, with **no
+environment-variable side channels**: a config built from the same
+flags is the same config on any machine.  This mirrors the layering of
+:class:`~repro.runtime.config.AtpgConfig` (run identity) and
+:class:`~repro.runtime.policy.ExecutionPolicy` (failure handling):
+``ServiceConfig`` is *deployment* identity, and none of its fields ever
+leak into a job's content key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs of a :class:`~repro.service.server.JobServer`.
+
+    Tenancy defaults are deliberately generous: a bare
+    ``ServiceConfig()`` serves a trusting single-machine deployment;
+    multi-tenant deployments tighten ``max_queued_per_tenant`` /
+    ``rate_limit_per_second`` explicitly.
+    """
+
+    #: Bind address.  ``port=0`` asks the kernel for an ephemeral port;
+    #: the server prints (and exposes) the port it actually bound.
+    host: str = "127.0.0.1"
+    port: int = 8765
+
+    #: Worker processes handed to the retry executor for each batch —
+    #: the same fan-out knob as ``Runtime(workers=...)``.
+    workers: int = 1
+    #: Jobs drained from the fair-share queue per executor round.  The
+    #: queue interleaves tenants *within* a batch, so this also bounds
+    #: how long one tenant's burst can monopolize the executor.
+    batch_size: int = 16
+
+    #: Result-cache directory (``None`` = the runtime default); the one
+    #: cache is shared by every tenant — content-addressed keys make
+    #: cross-tenant reuse safe by construction.
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+
+    #: Durability root.  ``None`` runs fully in memory (useful for
+    #: tests); a path makes every submitted job durable *at submit
+    #: time* (``queue/`` spool) and every finished result durable at
+    #: completion (``jobs/`` journal), so a SIGKILLed server resumes
+    #: its queue byte-identically with ``resume=True``.
+    journal_dir: Optional[str] = None
+    resume: bool = False
+
+    #: Per-job execution policy, forwarded to
+    #: :class:`~repro.runtime.policy.ExecutionPolicy`.
+    deadline_seconds: Optional[float] = None
+    retries: int = 0
+
+    #: Tenancy: maximum live (queued + running) jobs per tenant, and a
+    #: token-bucket submission rate (``None`` = unlimited) with burst
+    #: capacity.
+    max_queued_per_tenant: int = 100_000
+    rate_limit_per_second: Optional[float] = None
+    rate_limit_burst: int = 100
+
+    #: Kernel backend request forwarded into every job's AtpgConfig
+    #: default (submissions may still pin their own).
+    backend: Optional[str] = None
+
+    #: Telemetry: a JSONL trace path and/or a metrics summary on exit.
+    trace: Optional[str] = None
+    metrics: bool = False
+
+    #: Exit once the queue is drained (used by ``repro serve --resume
+    #: --exit-when-idle`` to replay a killed server's backlog and by the
+    #: CI smoke job).
+    exit_when_idle: bool = False
+    #: Start with the dispatcher paused; jobs are accepted and spooled
+    #: but not executed until a resume call — the deterministic way to
+    #: build up a queue in tests and load harnesses.
+    start_paused: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_queued_per_tenant < 1:
+            raise ConfigError(
+                f"max_queued_per_tenant must be >= 1, "
+                f"got {self.max_queued_per_tenant}"
+            )
+        if self.rate_limit_per_second is not None and self.rate_limit_per_second <= 0:
+            raise ConfigError(
+                f"rate_limit_per_second must be > 0 (or None), "
+                f"got {self.rate_limit_per_second}"
+            )
+        if self.rate_limit_burst < 1:
+            raise ConfigError(
+                f"rate_limit_burst must be >= 1, got {self.rate_limit_burst}"
+            )
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigError(
+                f"deadline_seconds must be > 0 (or None), "
+                f"got {self.deadline_seconds}"
+            )
+        if self.resume and self.journal_dir is None:
+            raise ConfigError("resume=True needs a journal_dir to resume from")
+
+    def with_port(self, port: int) -> "ServiceConfig":
+        return replace(self, port=port)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The config as JSON-serializable data (for /v1/health)."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "no_cache": self.no_cache,
+            "journal_dir": self.journal_dir,
+            "resume": self.resume,
+            "deadline_seconds": self.deadline_seconds,
+            "retries": self.retries,
+            "max_queued_per_tenant": self.max_queued_per_tenant,
+            "rate_limit_per_second": self.rate_limit_per_second,
+            "rate_limit_burst": self.rate_limit_burst,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_flags(cls, args: Any) -> "ServiceConfig":
+        """Build the config a parsed ``repro serve`` namespace describes."""
+        return cls(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            deadline_seconds=args.deadline,
+            retries=args.retries if args.retries is not None else 0,
+            max_queued_per_tenant=args.max_queued,
+            rate_limit_per_second=args.rate_limit,
+            rate_limit_burst=args.rate_burst,
+            backend=args.backend,
+            trace=args.trace,
+            metrics=args.metrics,
+            exit_when_idle=args.exit_when_idle,
+        )

@@ -1,0 +1,234 @@
+"""The service's job model: one submitted ATPG run and its lifecycle.
+
+A :class:`ServiceJob` is the server-side record of one submission: the
+parsed netlist, the :class:`~repro.runtime.config.AtpgConfig`, the
+content key they hash to (the same key the result cache and run journal
+use), and the current :class:`JobState`.  Wall-clock timestamps are
+kept **in memory only** — they are reported over the API for latency
+accounting but never journaled, so every durable artifact of a run is
+clock-free and byte-identical across reruns.
+
+Submissions travel as JSON::
+
+    {
+      "tenant": "team-a",
+      "netlist": {"format": "bench", "name": "c17", "text": "INPUT(a)..."},
+      "config": {"seed": 3, "backtrack_limit": 100, ...}
+    }
+
+The ``bench`` netlist format is the package's own BENCH dialect
+(:func:`repro.circuit.parse_bench` / :func:`repro.circuit.dump_bench`),
+which round-trips every netlist the loaders produce.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..atpg.engine import AtpgResult
+from ..circuit import dump_bench, parse_bench
+from ..circuit.netlist import Netlist
+from ..errors import ConfigError
+from ..runtime.cache import result_key
+from ..runtime.config import AtpgConfig
+
+_TENANT_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+DEFAULT_TENANT = "default"
+
+
+class JobState(enum.Enum):
+    """Where a job is in its lifecycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+def validate_tenant(tenant: str) -> str:
+    """A tenant name fit for quotas, spool files, and reports."""
+    if not isinstance(tenant, str) or not _TENANT_PATTERN.match(tenant):
+        raise ConfigError(
+            f"tenant must match [A-Za-z0-9._-]{{1,64}}, got {tenant!r}"
+        )
+    return tenant
+
+
+@dataclass
+class ServiceJob:
+    """One submitted ATPG run, from accept to terminal state."""
+
+    seq: int  # global submission order; job ids are "j<seq>"
+    tenant: str
+    name: str
+    netlist: Netlist
+    config: AtpgConfig
+    key: str  # content key: result_key(netlist, config)
+    state: JobState = JobState.QUEUED
+    #: True when this submission attached to an identical in-flight job
+    #: (single-flight dedupe) instead of queueing its own execution.
+    deduped: bool = False
+    error: Optional[str] = None
+    outcome: Optional[str] = None  # JobOutcome.value once terminal
+    pattern_count: Optional[int] = None
+    result: Optional[AtpgResult] = None
+    # In-memory latency accounting (API-only; never journaled).
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done_seq: Optional[int] = None  # global completion order
+
+    @property
+    def job_id(self) -> str:
+        return f"j{self.seq}"
+
+    def info(self) -> Dict[str, Any]:
+        """The job's API representation (status endpoint payload)."""
+        return {
+            "id": self.job_id,
+            "seq": self.seq,
+            "tenant": self.tenant,
+            "name": self.name,
+            "key": self.key,
+            "state": self.state.value,
+            "deduped": self.deduped,
+            "outcome": self.outcome,
+            "pattern_count": self.pattern_count,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "done_seq": self.done_seq,
+        }
+
+    def manifest_row(self) -> Dict[str, Any]:
+        """The job's row in the deterministic service manifest.
+
+        No clocks, no completion order — only submission-determined
+        fields plus the terminal status, so an uninterrupted drain and
+        a killed-and-resumed drain produce identical manifests.
+        """
+        return {
+            "seq": self.seq,
+            "id": self.job_id,
+            "tenant": self.tenant,
+            "name": self.name,
+            "key": self.key,
+            "status": self.state.value if self.state.terminal else "pending",
+            "outcome": self.outcome,
+            "pattern_count": self.pattern_count,
+        }
+
+    def spool_record(self) -> Dict[str, Any]:
+        """The job's durable spool entry (clock-free, replayable)."""
+        return {
+            "seq": self.seq,
+            "tenant": self.tenant,
+            "name": self.name,
+            "netlist": {
+                "format": "bench",
+                "name": self.netlist.name,
+                "text": dump_bench(self.netlist),
+            },
+            "config": self.config.to_dict(),
+            "key": self.key,
+            "state": self.state.value,
+            "deduped": self.deduped,
+            "outcome": self.outcome,
+            "pattern_count": self.pattern_count,
+            "error": self.error,
+        }
+
+
+def parse_netlist_payload(payload: Any) -> Netlist:
+    """The netlist a submission's ``netlist`` object describes."""
+    if not isinstance(payload, dict):
+        raise ConfigError("submission 'netlist' must be an object")
+    fmt = payload.get("format", "bench")
+    if fmt != "bench":
+        raise ConfigError(f"unknown netlist format {fmt!r}: only 'bench'")
+    text = payload.get("text")
+    if not isinstance(text, str) or not text.strip():
+        raise ConfigError("submission netlist 'text' must be non-empty")
+    name = payload.get("name", "bench")
+    if not isinstance(name, str) or not name:
+        raise ConfigError("submission netlist 'name' must be a string")
+    return parse_bench(text, name=name)
+
+
+def job_from_submission(payload: Any, seq: int, submitted_at: float) -> ServiceJob:
+    """Validate one submission payload into a :class:`ServiceJob`.
+
+    Raises :class:`~repro.errors.ConfigError` (HTTP 400) on anything
+    malformed — tenant, netlist, or config.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError("submission body must be a JSON object")
+    tenant = validate_tenant(payload.get("tenant", DEFAULT_TENANT))
+    netlist = parse_netlist_payload(payload.get("netlist"))
+    config_data = payload.get("config", {})
+    if not isinstance(config_data, dict):
+        raise ConfigError("submission 'config' must be an object")
+    config = AtpgConfig.from_dict(config_data)
+    name = payload.get("name", netlist.name)
+    if not isinstance(name, str) or not name:
+        raise ConfigError("submission 'name' must be a non-empty string")
+    return ServiceJob(
+        seq=seq,
+        tenant=tenant,
+        name=name,
+        netlist=netlist,
+        config=config,
+        key=result_key(netlist, config),
+        submitted_at=submitted_at,
+    )
+
+
+def job_from_spool(record: Dict[str, Any], submitted_at: float) -> ServiceJob:
+    """Rebuild a job from its spool entry (on server resume)."""
+    netlist = parse_netlist_payload(record["netlist"])
+    config = AtpgConfig.from_dict(record.get("config", {}))
+    job = ServiceJob(
+        seq=int(record["seq"]),
+        tenant=validate_tenant(record.get("tenant", DEFAULT_TENANT)),
+        name=record.get("name", netlist.name),
+        netlist=netlist,
+        config=config,
+        key=record.get("key") or result_key(netlist, config),
+        state=JobState(record.get("state", "queued")),
+        deduped=bool(record.get("deduped", False)),
+        outcome=record.get("outcome"),
+        pattern_count=record.get("pattern_count"),
+        error=record.get("error"),
+        submitted_at=submitted_at,
+    )
+    return job
+
+
+def submission_payload(
+    netlist: Netlist,
+    config: Optional[AtpgConfig] = None,
+    tenant: str = DEFAULT_TENANT,
+    name: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The JSON submission body for one (netlist, config) run —
+    the client-side inverse of :func:`job_from_submission`."""
+    return {
+        "tenant": tenant,
+        "name": name or netlist.name,
+        "netlist": {
+            "format": "bench",
+            "name": netlist.name,
+            "text": dump_bench(netlist),
+        },
+        "config": (config if config is not None else AtpgConfig()).to_dict(),
+    }

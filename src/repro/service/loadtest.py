@@ -1,0 +1,443 @@
+"""The service load harness: thousands of jobs, multiple tenants.
+
+This module generates a deterministic multi-tenant workload (synthetic
+cone-structured circuits from :mod:`repro.synth.generator`, several
+seeds each, with deliberate duplicates to exercise single-flight and
+the shared cache), drives it through a running job server, and reports:
+
+* submit/queue/drain throughput and per-tenant latency percentiles,
+* fair-share evidence — the maximum prefix imbalance of per-tenant
+  completion counts over the global completion order (a perfectly fair
+  two-tenant drain never exceeds 1),
+* single-flight and cache-hit counts,
+* optional **byte-identity verification**: a sample of service results
+  is recomputed through a direct in-process
+  :class:`~repro.runtime.session.Runtime` and compared as serialized
+  bytes — the service must be a transport, never a transformation.
+
+It is both a library (``benchmarks/bench_service.py`` and the tests
+import it) and the engine behind ``repro bench``, which can boot its
+own throwaway server subprocess (:func:`spawn_server`) so one command
+demonstrates the whole loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError, ServiceError
+from ..runtime.config import AtpgConfig
+from ..runtime.session import Runtime
+from ..core.serialization import atpg_result_to_dict
+from ..synth.generator import GeneratorSpec, generate_circuit
+from .client import ServiceClient
+from .jobs import submission_payload
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """Shape of one deterministic load run.
+
+    ``jobs`` submissions are spread round-robin across ``tenants``;
+    the circuit/seed pair cycles with period ``circuits * seeds``, so
+    any run with ``jobs`` beyond that period re-submits earlier keys —
+    duplicates that must be absorbed by single-flight (while in
+    flight) or the shared cache (once done).
+    """
+
+    jobs: int = 1000
+    tenants: int = 2
+    circuits: int = 6
+    seeds: int = 4
+    inputs: int = 10
+    outputs: int = 3
+    target_gates: int = 28
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1 or self.tenants < 1:
+            raise ValueError("jobs and tenants must be >= 1")
+        if self.circuits < 1 or self.seeds < 1:
+            raise ValueError("circuits and seeds must be >= 1")
+
+
+def tenant_name(index: int) -> str:
+    return f"tenant-{chr(ord('a') + index % 26)}{index // 26 or ''}"
+
+
+def build_payloads(plan: LoadPlan) -> List[Dict[str, Any]]:
+    """The full submission list, in deterministic submission order."""
+    netlists = [
+        generate_circuit(
+            GeneratorSpec(
+                name=f"svc{k}",
+                inputs=plan.inputs,
+                outputs=plan.outputs,
+                target_gates=plan.target_gates,
+                seed=100 + k,
+            )
+        )
+        for k in range(plan.circuits)
+    ]
+    payloads: List[Dict[str, Any]] = []
+    for index in range(plan.jobs):
+        variant = index % (plan.circuits * plan.seeds)
+        netlist = netlists[variant % plan.circuits]
+        config = AtpgConfig(seed=variant // plan.circuits)
+        payloads.append(
+            submission_payload(
+                netlist,
+                config,
+                tenant=tenant_name(index % plan.tenants),
+                name=f"{netlist.name}-s{config.seed}",
+            )
+        )
+    return payloads
+
+
+def max_prefix_imbalance(completed: List[Dict[str, Any]]) -> int:
+    """Fairness metric over the global completion order.
+
+    Walk jobs in ``done_seq`` order and track how many each tenant has
+    completed; the metric is the largest (max - min) gap seen while
+    every tenant still had work outstanding.  Round-robin draining
+    keeps this at 1 for balanced two-tenant load; a plain FIFO under a
+    one-sided burst makes it grow with the burst.
+    """
+    totals: Dict[str, int] = {}
+    for info in completed:
+        totals[info["tenant"]] = totals.get(info["tenant"], 0) + 1
+    remaining = dict(totals)
+    counts = {tenant: 0 for tenant in totals}
+    worst = 0
+    ordered = sorted(
+        (info for info in completed if info.get("done_seq") is not None),
+        key=lambda info: info["done_seq"],
+    )
+    for info in ordered:
+        tenant = info["tenant"]
+        counts[tenant] += 1
+        remaining[tenant] -= 1
+        if all(count > 0 for count in remaining.values()):
+            live = [counts[t] for t in totals]
+            worst = max(worst, max(live) - min(live))
+    return worst
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+
+    def pick(fraction: float) -> float:
+        return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+    return {
+        "p50": round(pick(0.50), 6),
+        "p90": round(pick(0.90), 6),
+        "p99": round(pick(0.99), 6),
+        "max": round(ordered[-1], 6),
+    }
+
+
+def run_load(
+    client: ServiceClient,
+    payloads: List[Dict[str, Any]],
+    pause_during_submit: bool = True,
+    drain_timeout: float = 900.0,
+) -> Dict[str, Any]:
+    """Drive one workload through a live server; returns the report.
+
+    ``pause_during_submit`` builds the whole queue before the
+    dispatcher runs — the deterministic mode the fairness metric wants
+    (otherwise early jobs finish while late ones are still arriving
+    and prefix imbalance measures submission order, not scheduling).
+    """
+    if pause_during_submit:
+        client.pause()
+    submitted: List[str] = []
+    rejected = 0
+    deduped = 0
+    submit_started = time.monotonic()
+    for payload in payloads:
+        try:
+            reply = client.submit_payload(payload)
+        except ServiceError:
+            rejected += 1
+            continue
+        submitted.append(reply["job"]["id"])
+        if reply.get("deduped"):
+            deduped += 1
+    submit_seconds = time.monotonic() - submit_started
+
+    drain_started = time.monotonic()
+    if pause_during_submit:
+        client.resume()
+    deadline = time.monotonic() + drain_timeout
+    while True:
+        health = client.health()
+        live = health["jobs"].get("queued", 0) + health["jobs"].get("running", 0)
+        if live == 0:
+            break
+        if time.monotonic() > deadline:
+            raise ServiceError(
+                f"load run did not drain within {drain_timeout}s "
+                f"({live} jobs still live)"
+            )
+        time.sleep(0.05)
+    drain_seconds = time.monotonic() - drain_started
+
+    infos = client.jobs()
+    by_state: Dict[str, int] = {}
+    latencies: Dict[str, List[float]] = {}
+    for info in infos:
+        by_state[info["state"]] = by_state.get(info["state"], 0) + 1
+        if info["state"] == "done" and info.get("finished_at"):
+            latencies.setdefault(info["tenant"], []).append(
+                info["finished_at"] - info["submitted_at"]
+            )
+    done = [info for info in infos if info["state"] == "done"]
+    # Two fairness views: "scheduled" counts only jobs the queue really
+    # dispatched (the scheduling decisions); the overall number also
+    # includes single-flighted followers, which complete in bursts when
+    # their leader does and so can legitimately spike the imbalance.
+    scheduled = [info for info in done if not info["deduped"]]
+    total_seconds = submit_seconds + drain_seconds
+    return {
+        "jobs_requested": len(payloads),
+        "jobs_submitted": len(submitted),
+        "jobs_rejected": rejected,
+        "deduped_submissions": deduped,
+        "tenants": sorted({info["tenant"] for info in infos}),
+        "states": by_state,
+        "fairness_max_prefix_imbalance": max_prefix_imbalance(done),
+        "fairness_max_prefix_imbalance_scheduled": max_prefix_imbalance(
+            scheduled
+        ),
+        "submit_seconds": round(submit_seconds, 3),
+        "drain_seconds": round(drain_seconds, 3),
+        "jobs_per_second": round(len(submitted) / total_seconds, 2)
+        if total_seconds > 0
+        else None,
+        "latency_seconds": {
+            tenant: _percentiles(samples)
+            for tenant, samples in sorted(latencies.items())
+        },
+    }
+
+
+def verify_against_runtime(
+    client: ServiceClient,
+    payloads: List[Dict[str, Any]],
+    sample: int = 8,
+) -> Dict[str, Any]:
+    """Recompute a sample of results directly; compare serialized bytes.
+
+    The acceptance bar for the service: fetching a result over the API
+    is byte-identical to running the same (netlist, config) through an
+    in-process :class:`Runtime`.
+    """
+    from ..circuit import parse_bench
+
+    infos = {info["key"]: info for info in client.jobs()
+             if info["state"] == "done"}
+    seen: set = set()
+    checked = 0
+    mismatches: List[str] = []
+    runtime = Runtime(workers=1, cache=None)
+    for payload in payloads:
+        if checked >= sample:
+            break
+        netlist = parse_bench(
+            payload["netlist"]["text"], name=payload["netlist"]["name"]
+        )
+        config = AtpgConfig.from_dict(payload["config"])
+        from ..runtime.cache import result_key
+
+        key = result_key(netlist, config)
+        if key in seen or key not in infos:
+            continue
+        seen.add(key)
+        checked += 1
+        remote = client.result(infos[key]["id"])
+        local = runtime.generate(netlist, config=config)
+        remote_bytes = json.dumps(
+            atpg_result_to_dict(remote), sort_keys=True
+        ).encode()
+        local_bytes = json.dumps(
+            atpg_result_to_dict(local), sort_keys=True
+        ).encode()
+        if remote_bytes != local_bytes:
+            mismatches.append(key)
+    return {
+        "checked": checked,
+        "mismatches": mismatches,
+        "byte_identical": not mismatches,
+    }
+
+
+# -- server subprocess management ---------------------------------------
+
+
+def spawn_server(
+    extra_args: Optional[List[str]] = None,
+    env: Optional[Dict[str, str]] = None,
+    timeout: float = 30.0,
+) -> Tuple[subprocess.Popen, int]:
+    """Boot ``repro serve --port 0 ...`` and return (process, port).
+
+    The server prints ``repro-service listening on http://host:port``
+    once bound; this parses the port from that line.  Used by ``repro
+    bench --serve``, the kill-and-resume tests, and the CI smoke job.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+    ] + (extra_args or [])
+    process_env = dict(os.environ)
+    if env:
+        process_env.update(env)
+    process_env.setdefault("PYTHONUNBUFFERED", "1")
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=process_env,
+        text=True,
+    )
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            port = int(line.rstrip().rsplit(":", 1)[1])
+            return process, port
+        if not line and process.poll() is not None:
+            raise ServiceError(
+                f"server exited with {process.returncode} before binding"
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            raise ServiceError(f"server did not bind within {timeout}s")
+
+
+def kill_server(process: subprocess.Popen, hard: bool = False) -> None:
+    """Stop a spawned server (SIGKILL when ``hard`` — the crash test)."""
+    if process.poll() is not None:
+        return
+    process.send_signal(signal.SIGKILL if hard else signal.SIGTERM)
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10)
+
+
+# -- the ``repro bench`` entry point ------------------------------------
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``repro bench`` flags (shared with the standalone runner)."""
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="port of a running server; omitted = boot a throwaway one",
+    )
+    parser.add_argument("--jobs", type=int, default=1000)
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--circuits", type=int, default=6)
+    parser.add_argument("--seeds", type=int, default=4)
+    parser.add_argument(
+        "--no-pause",
+        action="store_true",
+        help="submit against a live dispatcher instead of building "
+        "the queue under pause first",
+    )
+    parser.add_argument(
+        "--verify",
+        type=int,
+        default=4,
+        metavar="N",
+        help="recompute N distinct results in-process and compare bytes "
+        "(0 disables)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report here (e.g. BENCH_service.json)",
+    )
+
+
+def bench_from_args(args: argparse.Namespace) -> int:
+    """Run the load harness a parsed ``repro bench`` namespace asks for."""
+    plan = LoadPlan(
+        jobs=args.jobs,
+        tenants=args.tenants,
+        circuits=args.circuits,
+        seeds=args.seeds,
+    )
+    payloads = build_payloads(plan)
+
+    process: Optional[subprocess.Popen] = None
+    port = args.port
+    try:
+        if port is None:
+            process, port = spawn_server(["--no-cache"])
+        client = ServiceClient(args.host, port)
+        report = run_load(
+            client, payloads, pause_during_submit=not args.no_pause
+        )
+        if args.verify:
+            report["verification"] = verify_against_runtime(
+                client, payloads, sample=args.verify
+            )
+        report["plan"] = {
+            "jobs": plan.jobs,
+            "tenants": plan.tenants,
+            "circuits": plan.circuits,
+            "seeds": plan.seeds,
+        }
+        text = json.dumps(report, indent=2, sort_keys=True)
+        print(text)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        if report.get("verification", {}).get("mismatches"):
+            return 1
+        failed = report["states"].get("failed", 0)
+        return 1 if failed else 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if process is not None:
+            kill_server(process)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Load-test a repro ATPG job server.",
+    )
+    add_bench_arguments(parser)
+    return bench_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -162,13 +162,15 @@ class TestPerCone:
         netlist = parse_bench("INPUT(a)\nOUTPUT(a)\n", "ft")
         assert per_cone_pattern_counts(netlist) == {"a": 0}
 
-    def test_seed_kwarg_is_deprecated_but_equivalent(self, c17):
-        """The shim warns, and matches the runtime= spelling bit for bit."""
+    def test_seed_kwarg_is_retired(self, c17):
+        """The PR 3-era seed=/backtrack_limit= shims are gone: TypeError."""
+        with pytest.raises(TypeError):
+            per_cone_pattern_counts(c17, seed=1)
+        with pytest.raises(TypeError):
+            per_cone_pattern_counts(c17, backtrack_limit=50)
+        # The supported spelling still works.
         runtime = Runtime(config=AtpgConfig(seed=1, backtrack_limit=50))
-        via_runtime = per_cone_pattern_counts(c17, runtime=runtime)
-        with pytest.warns(DeprecationWarning):
-            via_kwargs = per_cone_pattern_counts(c17, seed=1)
-        assert via_kwargs == via_runtime
+        assert per_cone_pattern_counts(c17, runtime=runtime)
 
 
 class TestDynamicCompaction:

@@ -84,13 +84,14 @@ class TestNDetect:
             [p.assignments for p in b.test_set]
         )
 
-    def test_seed_kwarg_is_deprecated_but_equivalent(self, c17):
-        """The shim warns, and matches the config= spelling bit for bit."""
-        via_config = generate_n_detect_tests(
+    def test_seed_kwarg_is_retired(self, c17):
+        """The PR 3-era seed=/backtrack_limit= shims are gone: TypeError."""
+        with pytest.raises(TypeError):
+            generate_n_detect_tests(c17, n_detect=2, seed=9)
+        with pytest.raises(TypeError):
+            generate_n_detect_tests(c17, n_detect=2, backtrack_limit=10)
+        # The supported spelling still works.
+        result = generate_n_detect_tests(
             c17, n_detect=2, config=AtpgConfig(seed=9)
         )
-        with pytest.warns(DeprecationWarning):
-            via_kwargs = generate_n_detect_tests(c17, n_detect=2, seed=9)
-        assert [p.assignments for p in via_kwargs.test_set] == (
-            [p.assignments for p in via_config.test_set]
-        )
+        assert result.pattern_count > 0
