@@ -17,6 +17,16 @@ Two kinds of checks, per benchmark label:
   difference between the baseline host and CI runners plus scheduler
   jitter; it exists to catch algorithmic regressions (a kernel going
   quadratic), not percent-level noise.
+* **Phase band** — the per-phase wall times (``random_seconds``,
+  ``podem_seconds``, ``verify_seconds``) must stay *below*
+  ``1/min-ratio`` times the baseline (lower is better, same tolerance
+  band inverted).  A failure names the phase and its delta, so a
+  regression points at the guilty engine phase instead of a bare
+  end-to-end slowdown.  Baselines recorded before the phase fields
+  existed simply skip these checks, as do entries produced on a
+  different kernel backend than the baseline (the pure-Python
+  fallback legitimately spends its time differently per phase; cross-
+  backend runs are still gated end-to-end by the throughput band).
 
 Exit status is non-zero on any violation, with one line per failure —
 each names the benchmark label, the metric, both values, and which
@@ -39,6 +49,7 @@ from typing import List
 
 EXACT_KEYS = ("patterns", "fault_coverage", "gates")
 THROUGHPUT_KEYS = ("patterns_per_second", "faults_simulated_per_second")
+PHASE_KEYS = ("random_seconds", "podem_seconds", "verify_seconds")
 
 
 def compare(baseline: dict, current: dict, min_ratio: float) -> List[str]:
@@ -64,6 +75,27 @@ def compare(baseline: dict, current: dict, min_ratio: float) -> List[str]:
                 problems.append(
                     f"{label}.{key}: {value:.1f} is below {floor:.1f} "
                     f"({min_ratio:.0%} of baseline {base_entry[key]:.1f})"
+                )
+        for key in PHASE_KEYS:
+            # Wall seconds: lower is better, so the tolerance band is
+            # the throughput band inverted.  Entries missing the field
+            # on either side (pre-phase baselines, reduced records)
+            # skip the check rather than fail it, as do cross-backend
+            # comparisons: per-phase time splits are a property of the
+            # kernel, so only same-backend runs can regress a phase.
+            if entry.get("backend") != base_entry.get("backend"):
+                continue
+            base_value = base_entry.get(key)
+            value = entry.get(key)
+            if base_value is None or value is None or base_value <= 0:
+                continue
+            ceiling = base_value / min_ratio
+            if value > ceiling:
+                problems.append(
+                    f"{label}.{key}: {value:.3f}s is {value / base_value:.1f}x "
+                    f"the baseline {base_value:.3f}s (ceiling {ceiling:.3f}s "
+                    f"at min-ratio {min_ratio}) — the "
+                    f"{key.replace('_seconds', '')} phase regressed"
                 )
     return problems
 

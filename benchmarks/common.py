@@ -20,6 +20,7 @@ import pytest
 from repro.atpg.backends import resolve_backend
 from repro.atpg.faultsim import reset_sim_stats, sim_stats
 from repro.observability import JsonlSink, Tracer, use_tracer
+from repro.observability.tracer import phase_breakdown
 
 
 def warm_backend():
@@ -53,15 +54,17 @@ def _trace_env():
 
 
 def run_timed(benchmark, function, *args, **kwargs):
-    """Like :func:`run_once`, plus wall time and fault-sim kernel stats.
+    """Like :func:`run_once`, plus wall time, kernel stats and phases.
 
-    Returns ``(result, seconds, stats)`` where ``stats`` is the
+    Returns ``(result, seconds, stats, phases)``.  ``stats`` is the
     fault-simulation counter snapshot for the run (detect calls,
     fault×pattern evaluations, gate evaluations) — the numbers the
-    throughput reports divide by the wall time.  When ``REPRO_TRACE``
-    is set the call runs under a fresh tracer whose trace (and, with
-    ``REPRO_METRICS_OUT``, summary) is written out — the same telemetry
-    the ``--trace`` / ``--metrics`` CLI flags produce.
+    throughput reports divide by the wall time.  ``phases`` maps each
+    engine phase span (``random_phase``, ``podem``, ``verify``, ...) to
+    its wall seconds, from the same tracer the ``--trace`` CLI flag
+    uses; the tracer always runs here so every bench record carries a
+    phase breakdown.  When ``REPRO_TRACE`` is set the trace (and, with
+    ``REPRO_METRICS_OUT``, summary) is also written out.
     """
     measured = {}
     warm_backend()
@@ -69,23 +72,23 @@ def run_timed(benchmark, function, *args, **kwargs):
 
     def wrapped():
         reset_sim_stats()
-        tracer = Tracer() if trace_path or metrics_path else None
+        tracer = Tracer()
         start = time.perf_counter()
         with use_tracer(tracer):
             result = function(*args, **kwargs)
         measured["seconds"] = time.perf_counter() - start
         measured["stats"] = sim_stats()
-        if tracer is not None:
-            if trace_path:
-                tracer.sinks.append(JsonlSink(trace_path, append=True))
+        measured["phases"] = phase_breakdown(tracer.export(), depth=1)
+        if trace_path:
+            tracer.sinks.append(JsonlSink(trace_path, append=True))
             tracer.flush()
-            if metrics_path:
-                with open(metrics_path, "a") as handle:
-                    handle.write(tracer.summary() + "\n\n")
+        if metrics_path:
+            with open(metrics_path, "a") as handle:
+                handle.write(tracer.summary() + "\n\n")
         return result
 
     result = benchmark.pedantic(wrapped, rounds=1, iterations=1)
-    return result, measured["seconds"], measured["stats"]
+    return result, measured["seconds"], measured["stats"], measured["phases"]
 
 
 def record_bench(label, entry, path=None):

@@ -256,6 +256,16 @@ class NumpyBackend:
             return MID_LANES
         return 1
 
+    def prepare(self, circuit: CompiledCircuit) -> None:
+        """Build (and cache on the circuit) the derived array tables now.
+
+        Normally the plan is built lazily inside the first wide detect
+        call.  Callers about to fork worker processes build it eagerly
+        instead, so every forked worker inherits the warm plan rather
+        than rebuilding it cold.
+        """
+        _plan_for(circuit)
+
     # -- vectorized fanout-free-region detect masks ---------------------
 
     def ffr_detect_masks(

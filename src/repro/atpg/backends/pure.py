@@ -27,6 +27,9 @@ class PureBackend:
         """Pattern-block width in 64-bit words: always one."""
         return 1
 
+    def prepare(self, circuit) -> None:
+        """No derived tables to build ahead of time."""
+
     def ffr_detect_masks(
         self,
         simulator,

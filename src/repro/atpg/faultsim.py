@@ -1067,6 +1067,40 @@ def _shard_detect(
     return simulator.detect_masks(good, n, [faults[i] for i in indices])
 
 
+def _shard_noop() -> None:
+    """Prewarm task: forces worker processes to spawn (and fork) *now*.
+
+    Submitting one no-op per worker right after pool construction makes
+    the fork inherit the parent's already-built backend plan and overlaps
+    process startup with the random phase instead of stalling the first
+    real sharded call.
+    """
+
+
+def _shard_window_detect(
+    indices: Optional[List[int]],
+    in_ones: List[int],
+    in_zeros: List[int],
+    count: int,
+) -> List[int]:
+    """Worker entry point: masks for *all* pool faults over one window.
+
+    The pattern-axis dual of :func:`_shard_detect`: instead of one
+    worker per fault shard over the full batch, one worker takes the
+    full fault list (or the ``indices`` sub-list) over a 64-aligned
+    window of the pattern axis.  Used for the wide stream-2 sweeps
+    where the per-root region chases — whose cost scales with the word
+    count — dominate, so splitting patterns parallelizes the real work
+    while fault sharding would duplicate it per worker.
+    """
+    simulator = _SHARD_SIMULATOR
+    good, n = _shard_rails(in_ones, in_zeros, count)
+    faults = _SHARD_FAULTS
+    if indices is not None:
+        faults = [faults[i] for i in indices]
+    return simulator.detect_masks(good, n, faults)
+
+
 def _shard_detect_shm(
     indices: List[int], shm_name: str, row_bytes: int, count: int
 ) -> List[int]:
@@ -1211,6 +1245,100 @@ class FaultShardPool:
             # whole call serially — correctness over partial credit.
             self.close()
             return self._simulator.detect_masks(good, pattern_count, fault_list)
+
+    def indices_of(self, faults: Sequence[Fault]) -> List[int]:
+        """Positions of ``faults`` in the pool's canonical fault list."""
+        index_of = self._index_of
+        return [index_of[fault] for fault in faults]
+
+    def prewarm(self) -> None:
+        """Start the worker processes now instead of at the first call.
+
+        Fire-and-forget no-ops, one per worker: the forks happen while
+        the caller is busy with other work (the engine prewarms right
+        after building the backend plan, so every worker inherits it
+        warm), and any startup failure simply surfaces at the first
+        real call through the usual serial degradation.
+        """
+        if self._pool is None:
+            return
+        try:
+            for _ in range(self.workers):
+                self._pool.submit(_shard_noop)
+        except Exception:
+            self.close()
+
+    def run_tasks(self, fn, arg_tuples) -> Optional[list]:
+        """Fan arbitrary picklable tasks across the pool, in order.
+
+        Returns the per-task results, or None when no pool is available
+        (never created, retired, or broken mid-call) — the caller runs
+        its serial fallback.  ``fn`` must be a module-level function;
+        worker-side state installed by :func:`_shard_init`
+        (``_SHARD_SIMULATOR``, ``_SHARD_FAULTS``) is available to it.
+        """
+        pool = self._pool
+        if pool is None:
+            return None
+        get_abort().check()
+        try:
+            futures = [pool.submit(fn, *args) for args in arg_tuples]
+            return [future.result() for future in futures]
+        except BrokenExecutor:
+            self.close()
+            return None
+
+    def detect_masks_patterns(
+        self, good: RailBatch, pattern_count: int, faults: Sequence[Fault]
+    ) -> List[int]:
+        """Masks for ``faults``, sharded along the *pattern* axis.
+
+        Each worker computes all the faults over one 64-aligned window
+        of the batch; the parent ORs the window masks back, shifted to
+        their pattern positions.  Dual-rail detection is per-bit
+        independent, so the merged masks are bit-identical to
+        :meth:`FaultSimulator.detect_masks` over the whole batch — this
+        is purely an execution strategy for wide X-free sweeps whose
+        region-chase cost scales with the word count.
+        """
+        get_abort().check()
+        fault_list = list(faults)
+        words = pattern_count >> 6
+        serial = (
+            self._pool is None
+            or pattern_count % 64
+            or words < 2
+            or len(fault_list) < self.min_shard
+        )
+        if serial:
+            return self._simulator.detect_masks(good, pattern_count, fault_list)
+        indices = [self._index_of[fault] for fault in fault_list]
+        window_words = -(-words // self.workers)
+        tasks = []
+        bases = []
+        for first in range(0, words, window_words):
+            base = first * 64
+            width = min(window_words * 64, pattern_count - base)
+            window_full = (1 << width) - 1
+            in_ones = [
+                (good.ones[i] >> base) & window_full
+                for i in self.circuit.input_ids
+            ]
+            in_zeros = [
+                (good.zeros[i] >> base) & window_full
+                for i in self.circuit.input_ids
+            ]
+            tasks.append((indices, in_ones, in_zeros, width))
+            bases.append(base)
+        results = self.run_tasks(_shard_window_detect, tasks)
+        if results is None:
+            return self._simulator.detect_masks(good, pattern_count, fault_list)
+        masks = [0] * len(fault_list)
+        for base, window_masks in zip(bases, results):
+            for k, mask in enumerate(window_masks):
+                if mask:
+                    masks[k] |= mask << base
+        return masks
 
     def _detect_shm(
         self,

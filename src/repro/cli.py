@@ -154,7 +154,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     client = ServiceClient(args.host, args.port)
     info = client.submit(
         netlist,
-        AtpgConfig(seed=args.seed),
+        AtpgConfig(seed=args.seed, stream=args.stream),
         tenant=args.tenant,
         name=args.name or netlist.name,
     )
@@ -253,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--name", default=None,
                         help="job name (default: the netlist name)")
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--stream", type=int, choices=(1, 2), default=1,
+                        help="pattern-stream epoch for the job "
+                             "(default: 1, the legacy sequential stream)")
     submit.add_argument("--no-wait", action="store_true",
                         help="return after submission instead of waiting "
                              "for the result")

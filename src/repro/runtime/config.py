@@ -42,6 +42,13 @@ class AtpgConfig:
     random_batches: int = 32
     compact: bool = True
     dynamic_compaction: int = 0
+    #: Pattern-stream epoch (see :mod:`repro.atpg.streams`).  ``1`` is
+    #: the legacy sequential draw order; ``2`` is the counter-based
+    #: order-independent stream.  Unlike ``backend``, the epoch changes
+    #: the generated bits, so it is part of the run identity: it enters
+    #: :meth:`fingerprint` (whenever != 1) and epochs never collide in
+    #: the cache.
+    stream: int = 1
     #: Kernel backend request (``None`` = environment/auto).  Every
     #: backend is bit-identical to ``pure``, so this is an execution
     #: detail: it rides along in serialized configs but is excluded
@@ -64,6 +71,10 @@ class AtpgConfig:
             raise ConfigError(
                 f"dynamic_compaction must be >= 0, got {self.dynamic_compaction}"
             )
+        if self.stream not in (1, 2):
+            raise ConfigError(
+                f"unknown pattern-stream epoch {self.stream!r}: choose 1 or 2"
+            )
 
     def with_seed(self, seed: int) -> "AtpgConfig":
         """The same configuration under a different seed."""
@@ -77,6 +88,7 @@ class AtpgConfig:
             "random_batches": self.random_batches,
             "compact": self.compact,
             "dynamic_compaction": self.dynamic_compaction,
+            "stream": self.stream,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -87,6 +99,11 @@ class AtpgConfig:
             "compact": self.compact,
             "dynamic_compaction": self.dynamic_compaction,
         }
+        # The legacy epoch is implicit, so stream-1 dicts — and
+        # therefore every pre-epoch fingerprint and cached result —
+        # are byte-identical to before the field existed.
+        if self.stream != 1:
+            data["stream"] = self.stream
         if self.backend is not None:
             data["backend"] = self.backend
         return data
@@ -99,6 +116,7 @@ class AtpgConfig:
             random_batches=data.get("random_batches", 32),
             compact=data.get("compact", True),
             dynamic_compaction=data.get("dynamic_compaction", 0),
+            stream=data.get("stream", 1),
             backend=data.get("backend"),
         )
 
@@ -107,7 +125,10 @@ class AtpgConfig:
 
         The kernel ``backend`` is deliberately excluded: backends are
         bit-identical, so results cached under one backend are valid —
-        and reused — under any other.
+        and reused — under any other.  The pattern-stream epoch is
+        *included* (whenever it is not the implicit legacy ``1``):
+        epochs generate different bits, so their results must never
+        collide in the cache.
         """
         data = self.to_dict()
         data.pop("backend", None)

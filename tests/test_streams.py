@@ -1,0 +1,239 @@
+"""The stream-2 counter-based pattern-stream epoch.
+
+Three families of guarantees, all load-bearing for the fault-parallel
+engine:
+
+* **Purity** — every stream-2 bit is a pure function of ``(seed,
+  pattern_index, input_position)``: invariant under window chunking,
+  draw order, kernel backend and worker count.
+* **Epoch isolation** — stream 1 is byte-frozen: adding the epoch knob
+  changed nothing about default runs, their serialized configs or
+  their fingerprints; stream-2 fingerprints can never collide with
+  them.
+* **Engine equivalence** — stream-2 results are bit-identical across
+  serial, fault-parallel, killed-and-resumed, and pure/numpy runs, and
+  never trade coverage away against stream 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import CompiledCircuit, collapse_faults, generate_tests
+from repro.atpg.backends import numpy_available
+from repro.atpg.streams import (
+    DOMAIN_DRAW,
+    DOMAIN_FILL,
+    _stream_words_numpy,
+    fill_pattern,
+    fill_test_set,
+    stream_bit,
+    stream_rails,
+    stream_word,
+)
+from repro.atpg.patterns import TestPattern, TestSet
+from repro.errors import ConfigError
+from repro.runtime.config import AtpgConfig
+from repro.runtime.executor import AtpgJob, run_jobs
+from repro.runtime.journal import RunJournal
+from repro.synth import GeneratorSpec, generate_circuit
+
+#: Committed fingerprints: the default (stream-1) config must hash to
+#: what it hashed to before the epoch knob existed, forever.
+STREAM1_DEFAULT_FINGERPRINT = (
+    "6b89579a65f761b4647d47f396ea454b4661b2ca07d958fcd95b48b41b90da2e"
+)
+
+
+def small_scale_netlist():
+    return generate_circuit(
+        GeneratorSpec(name="scale_small", inputs=12, outputs=6,
+                      flip_flops=10, target_gates=120, seed=19)
+    )
+
+
+def pattern_dicts(result):
+    return [p.assignments for p in result.test_set.patterns]
+
+
+def result_signature(result):
+    return (
+        pattern_dicts(result),
+        result.detected_count,
+        result.untestable,
+        result.aborted,
+        result.random_pattern_count,
+        result.deterministic_pattern_count,
+    )
+
+
+class TestStreamWords:
+    def test_word_is_pure_and_stable(self):
+        # Same coordinates, any call order -> same word; and the first
+        # word of the zero seed is pinned so the epoch can never drift.
+        later = stream_word(7, 123, 45)
+        assert stream_word(7, 123, 45) == later
+        assert stream_word(0, 0, 0) == 0xE220A8397B1DCDAF
+
+    def test_domains_are_disjoint(self):
+        assert stream_word(3, 5, 9, DOMAIN_DRAW) != stream_word(
+            3, 5, 9, DOMAIN_FILL
+        )
+
+    def test_bit_matches_rails(self):
+        input_ids = [4, 9, 13]
+        ones, _ = stream_rails(input_ids, seed=11, start=0, count=128,
+                               net_count=20)
+        for pos, net_id in enumerate(input_ids):
+            for index in range(128):
+                assert (ones[net_id] >> index) & 1 == stream_bit(11, index, pos)
+
+    def test_rails_window_partition_invariance(self):
+        # Drawing one 256-pattern window equals drawing its 64-pattern
+        # quarters independently — the property fault-parallel draws
+        # rely on.
+        input_ids = [2, 3, 5]
+        whole_ones, whole_zeros = stream_rails(
+            input_ids, seed=5, start=0, count=256, net_count=8
+        )
+        mask64 = (1 << 64) - 1
+        for quarter in range(4):
+            part_ones, part_zeros = stream_rails(
+                input_ids, seed=5, start=64 * quarter, count=64, net_count=8
+            )
+            for net_id in input_ids:
+                assert part_ones[net_id] == (whole_ones[net_id] >> (64 * quarter)) & mask64
+                assert part_zeros[net_id] == (whole_zeros[net_id] >> (64 * quarter)) & mask64
+
+    def test_rails_reject_unaligned_windows(self):
+        with pytest.raises(ValueError, match="64-aligned"):
+            stream_rails([1], seed=0, start=32, count=64, net_count=4)
+        with pytest.raises(ValueError, match="64-aligned"):
+            stream_rails([1], seed=0, start=0, count=100, net_count=4)
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy masked")
+    def test_numpy_matrix_matches_pure_mixer(self):
+        matrix = _stream_words_numpy(
+            seed=42, blocks=5, first_block=3, positions=7, domain=DOMAIN_DRAW
+        )
+        assert matrix is not None
+        for pos in range(7):
+            for b in range(5):
+                assert int(matrix[pos][b]) == stream_word(42, 3 + b, pos)
+
+
+class TestStreamFill:
+    def test_fill_is_index_keyed_not_order_keyed(self):
+        input_ids = [1, 2, 3, 4]
+        partial = TestPattern({1: 1})
+        a = fill_pattern(partial, input_ids, seed=9, pattern_index=17)
+        b = fill_pattern(partial, input_ids, seed=9, pattern_index=17)
+        other = fill_pattern(partial, input_ids, seed=9, pattern_index=18)
+        assert a.assignments == b.assignments
+        assert len(a.assignments) == len(input_ids)
+        assert a.assignments[1] == 1  # specified bits never change
+        assert a.assignments != other.assignments
+
+    def test_fully_specified_pattern_passes_through(self):
+        input_ids = [1, 2]
+        full = TestPattern({1: 0, 2: 1})
+        assert fill_pattern(full, input_ids, 0, 3).assignments == full.assignments
+
+    def test_fill_test_set_keys_each_pattern_by_index(self, c17):
+        circuit = CompiledCircuit(c17)
+        test_set = TestSet(circuit_name="c17", patterns=[
+            TestPattern({circuit.input_ids[0]: 1}),
+            TestPattern({circuit.input_ids[0]: 1}),
+        ])
+        filled = fill_test_set(test_set, circuit, seed=4)
+        for pattern in filled.patterns:
+            assert len(pattern.assignments) == len(circuit.input_ids)
+        # Same partial pattern, different index -> different fill.
+        assert filled.patterns[0].assignments != filled.patterns[1].assignments
+
+
+class TestConfigEpoch:
+    def test_stream1_fingerprint_is_frozen(self):
+        assert AtpgConfig().fingerprint() == STREAM1_DEFAULT_FINGERPRINT
+        assert AtpgConfig(stream=1).fingerprint() == STREAM1_DEFAULT_FINGERPRINT
+
+    def test_stream2_fingerprint_differs(self):
+        assert AtpgConfig(stream=2).fingerprint() != STREAM1_DEFAULT_FINGERPRINT
+
+    def test_stream1_dict_is_byte_stable(self):
+        # Stream 1 is implicit: serialized configs are identical to the
+        # pre-epoch format, so every cached fingerprint stays valid.
+        assert "stream" not in AtpgConfig().to_dict()
+        assert AtpgConfig(stream=2).to_dict()["stream"] == 2
+
+    def test_round_trip(self):
+        for stream in (1, 2):
+            config = AtpgConfig(seed=5, stream=stream)
+            assert AtpgConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_epoch_rejected(self):
+        with pytest.raises(ConfigError, match="pattern-stream epoch"):
+            AtpgConfig(stream=3)
+
+    def test_engine_kwargs_carry_stream(self):
+        assert AtpgConfig(stream=2).engine_kwargs()["stream"] == 2
+
+
+class TestEngineStream2:
+    def test_stream1_default_is_unchanged(self):
+        netlist = small_scale_netlist()
+        explicit = generate_tests(netlist, 19, stream=1)
+        default = generate_tests(netlist, 19)
+        assert result_signature(explicit) == result_signature(default)
+
+    def test_serial_and_fault_parallel_are_bit_identical(self):
+        netlist = small_scale_netlist()
+        serial = generate_tests(netlist, 19, stream=2)
+        parallel = generate_tests(netlist, 19, stream=2, workers=3)
+        assert result_signature(serial) == result_signature(parallel)
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy masked")
+    def test_backends_are_bit_identical(self):
+        netlist = small_scale_netlist()
+        auto = generate_tests(netlist, config=AtpgConfig(seed=19, stream=2))
+        pure = generate_tests(
+            netlist, config=AtpgConfig(seed=19, stream=2, backend="pure")
+        )
+        assert result_signature(auto) == result_signature(pure)
+
+    def test_coverage_never_regresses_vs_stream1(self, c17):
+        for netlist in (c17, small_scale_netlist()):
+            circuit = CompiledCircuit(netlist)
+            faults = collapse_faults(circuit)
+            s1 = generate_tests(netlist, 19, circuit=circuit, faults=faults)
+            s2 = generate_tests(netlist, 19, stream=2, circuit=circuit,
+                                faults=faults)
+            assert s2.fault_coverage >= s1.fault_coverage
+
+    def test_patterns_are_fully_specified(self):
+        netlist = small_scale_netlist()
+        circuit = CompiledCircuit(netlist)
+        result = generate_tests(netlist, 19, stream=2, circuit=circuit)
+        for pattern in result.test_set.patterns:
+            assert len(pattern.assignments) == len(circuit.input_ids)
+
+    def test_killed_and_resumed_run_is_bit_identical(self, tmp_path):
+        # A journaled batch killed after one job and resumed must
+        # replay to exactly the uninterrupted stream-2 results.
+        netlist = small_scale_netlist()
+        config = AtpgConfig(seed=19, stream=2)
+        jobs = [
+            AtpgJob(name="s2-a", netlist=netlist, config=config),
+            AtpgJob(name="s2-b", netlist=netlist, config=config.with_seed(20)),
+        ]
+        uninterrupted, _ = run_jobs(jobs)
+
+        first_leg = RunJournal(str(tmp_path))
+        run_jobs(jobs[:1], journal=first_leg)  # "killed" after job 0
+
+        resumed_journal = RunJournal(str(tmp_path), resume=True)
+        resumed, manifest = run_jobs(jobs, journal=resumed_journal)
+        assert manifest.cache_hits == 1
+        assert [result_signature(r) for r in resumed] == [
+            result_signature(r) for r in uninterrupted
+        ]
